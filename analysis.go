@@ -1,0 +1,67 @@
+package freshcache
+
+import (
+	"fmt"
+	"time"
+
+	"freshcache/internal/analysis"
+)
+
+// The planning helpers expose the library's delivery-delay analysis for
+// standalone capacity planning: given estimated per-hop contact rates
+// (contacts per hour), how likely is an opportunistic path to deliver
+// within a window, and how large must the window be to hit a target?
+
+// PathDeliveryProbability returns the probability that a multi-hop
+// opportunistic path delivers within the window, under the exponential
+// contact model. ratesPerHour holds one expected contact rate per hop
+// (contacts/hour); all must be positive.
+func PathDeliveryProbability(ratesPerHour []float64, window time.Duration) (float64, error) {
+	rates, err := toPerSecond(ratesPerHour)
+	if err != nil {
+		return 0, err
+	}
+	p, err := analysis.PathCDF(rates, window.Seconds())
+	if err != nil {
+		return 0, fmt.Errorf("freshcache: %w", err)
+	}
+	return p, nil
+}
+
+// MinimalFreshnessWindow returns the smallest freshness window under
+// which the path delivers with at least probability p (0 < p < 1).
+func MinimalFreshnessWindow(ratesPerHour []float64, p float64) (time.Duration, error) {
+	rates, err := toPerSecond(ratesPerHour)
+	if err != nil {
+		return 0, err
+	}
+	w, err := analysis.MinimalWindow(rates, p)
+	if err != nil {
+		return 0, fmt.Errorf("freshcache: %w", err)
+	}
+	return time.Duration(w * float64(time.Second)), nil
+}
+
+// ExpectedPathDelay returns the expected delivery delay of the path.
+func ExpectedPathDelay(ratesPerHour []float64) (time.Duration, error) {
+	rates, err := toPerSecond(ratesPerHour)
+	if err != nil {
+		return 0, err
+	}
+	m, err := analysis.PathMean(rates)
+	if err != nil {
+		return 0, fmt.Errorf("freshcache: %w", err)
+	}
+	return time.Duration(m * float64(time.Second)), nil
+}
+
+func toPerSecond(ratesPerHour []float64) ([]float64, error) {
+	out := make([]float64, len(ratesPerHour))
+	for i, r := range ratesPerHour {
+		if r <= 0 {
+			return nil, fmt.Errorf("freshcache: non-positive rate %v at hop %d", r, i)
+		}
+		out[i] = r / 3600
+	}
+	return out, nil
+}

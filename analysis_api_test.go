@@ -1,0 +1,60 @@
+package freshcache
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPathDeliveryProbability(t *testing.T) {
+	// Single hop at 1 contact/hour over 1 hour: 1 - 1/e.
+	p, err := PathDeliveryProbability([]float64{1}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-(1-math.Exp(-1))) > 1e-9 {
+		t.Fatalf("p = %v", p)
+	}
+	// Adding hops lowers the probability.
+	p2, err := PathDeliveryProbability([]float64{1, 1}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 >= p {
+		t.Fatalf("two hops %v not below one hop %v", p2, p)
+	}
+	if _, err := PathDeliveryProbability([]float64{1, 0}, time.Hour); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestMinimalFreshnessWindow(t *testing.T) {
+	w, err := MinimalFreshnessWindow([]float64{2, 1}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PathDeliveryProbability([]float64{2, 1}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9-1e-6 {
+		t.Fatalf("window %v gives %v < 0.9", w, p)
+	}
+	if _, err := MinimalFreshnessWindow([]float64{1}, 1.5); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+}
+
+func TestExpectedPathDelay(t *testing.T) {
+	// 2/hour + 1/hour: mean 0.5h + 1h = 1.5h.
+	d, err := ExpectedPathDelay([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Hours()-1.5) > 1e-9 {
+		t.Fatalf("delay = %v", d)
+	}
+	if _, err := ExpectedPathDelay([]float64{-1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper-reproduction evaluation: every
+// table and figure of the suite (E1…E10, see DESIGN.md), as aligned text
+// on stdout and optionally as CSV files.
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run E2,E5      # selected experiments
+//	experiments -quick          # trimmed sweeps (smoke run)
+//	experiments -csv out/       # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"freshcache/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only   = fs.String("run", "", "comma-separated experiment IDs (default all)")
+		seed   = fs.Int64("seed", 42, "random seed")
+		quick  = fs.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+		csvDir = fs.String("csv", "", "directory to write per-table CSV files")
+		charts = fs.Bool("charts", false, "also render numeric tables as ASCII charts")
+		par    = fs.Int("parallel", 1, "run up to this many experiments concurrently (output stays in order)")
+		list   = fs.Bool("list", false, "list the experiment registry and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %-55s (%s)\n", e.ID, e.Title, e.PaperAnalogue)
+		}
+		return nil
+	}
+
+	var selected []expt.Experiment
+	if *only == "" {
+		selected = expt.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := expt.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if *par < 1 {
+		return fmt.Errorf("parallel must be >= 1, got %d", *par)
+	}
+
+	// Experiments run concurrently up to the -parallel bound; each one's
+	// rendered output is buffered and printed in registry order so logs
+	// stay deterministic regardless of completion order.
+	results := make([]outcome, len(selected))
+	sem := make(chan struct{}, *par)
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runOne(e, expt.Options{Seed: *seed, Quick: *quick}, *charts, *csvDir)
+		}()
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", selected[i].ID, r.err)
+		}
+		fmt.Print(r.text)
+	}
+	return nil
+}
+
+// outcome is one experiment's rendered output block (or its error).
+type outcome struct {
+	text string
+	err  error
+}
+
+// runOne executes one experiment and renders its full output block.
+func runOne(e expt.Experiment, opts expt.Options, charts bool, csvDir string) (out outcome) {
+	start := time.Now()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s (paper analogue: %s)\n", e.ID, e.Title, e.PaperAnalogue)
+	tables, err := e.Run(opts)
+	if err != nil {
+		out.err = err
+		return
+	}
+	for i, t := range tables {
+		fmt.Fprintln(&b, t.Render())
+		if charts && t.Chartable() {
+			if chart, err := t.Chart(64, 16); err == nil {
+				fmt.Fprintln(&b, chart)
+			}
+		}
+		if csvDir != "" {
+			name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
+			if err := os.WriteFile(filepath.Join(csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+				out.err = err
+				return
+			}
+		}
+	}
+	fmt.Fprintf(&b, "(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	out.text = b.String()
+	return
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCSVAndCharts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := run([]string{"-run", "E1", "-quick", "-csv", dir, "-charts"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV written")
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	if err := run([]string{"-run", "E1,E17", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	if err := run([]string{"-run", "E1,E17", "-quick", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-parallel", "0"}); err == nil {
+		t.Fatal("parallel=0 accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Command freshsim runs one cache-freshness simulation: a scheme over a
+// trace (built-in preset or external file), printing the aggregated
+// metrics as text or JSON.
+//
+// Usage:
+//
+//	freshsim -preset reality-like -scheme hierarchical -items 5 -refresh 4h
+//	freshsim -trace campus.contacts -scheme epidemic -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "freshsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("freshsim", flag.ContinueOnError)
+	var (
+		preset    = fs.String("preset", "reality-like", "built-in trace preset (reality-like, infocom-like)")
+		traceFile = fs.String("trace", "", "external trace file (overrides -preset)")
+		scheme    = fs.String("scheme", "hierarchical", "freshness scheme (norefresh, direct, direct-rep, hierarchical-norep, hierarchical, epidemic, oracle)")
+		items     = fs.Int("items", 5, "number of data items (sources at nodes 0..items-1)")
+		refresh   = fs.Duration("refresh", 4*time.Hour, "refresh interval R")
+		window    = fs.Duration("window", 0, "freshness window F (default R)")
+		lifetime  = fs.Duration("lifetime", 0, "version lifetime L (default 2R)")
+		caching   = fs.Int("caching", 8, "number of caching nodes K")
+		queries   = fs.Float64("queries", 4, "queries per node per day (0 disables)")
+		zipf      = fs.Float64("zipf", 1.0, "query popularity Zipf exponent")
+		preq      = fs.Float64("preq", 0.9, "required refresh probability")
+		fanout    = fs.Int("fanout", 3, "hierarchy fan-out bound")
+		relays    = fs.Int("relays", 5, "max replication relays per destination")
+		seed      = fs.Int64("seed", 1, "random seed")
+		msgTime   = fs.Duration("msgtime", 0, "per-message transfer time (0 = unlimited bandwidth)")
+		loss      = fs.Float64("loss", 0, "message loss probability [0,1)")
+		churnUp   = fs.Duration("churn-up", 0, "mean node up-period (0 disables churn)")
+		churnDown = fs.Duration("churn-down", 0, "mean node down-period")
+		distKnow  = fs.Bool("distributed", false, "nodes use local gossiped rate knowledge instead of the oracle estimate")
+		rebuild   = fs.Duration("rebuild", 0, "periodic hierarchy rebuild interval (0 = never)")
+		relayCap  = fs.Int("relaycap", 0, "relay buffer capacity in copies (0 = unlimited)")
+		asJSON    = fs.Bool("json", false, "emit the result as JSON")
+		compare   = fs.String("compare", "", "comma-separated schemes to run side by side (overrides -scheme)")
+		runs      = fs.Int("runs", 1, "replicate over this many consecutive seeds and report mean ± CI95")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	specs := make([]freshcache.ItemSpec, *items)
+	for i := range specs {
+		specs[i] = freshcache.ItemSpec{Source: i, Refresh: *refresh, Window: *window, Lifetime: *lifetime}
+	}
+	baseOpts := []freshcache.Option{
+		freshcache.WithItems(specs...),
+		freshcache.WithCachingNodes(*caching),
+		freshcache.WithSeed(*seed),
+		freshcache.WithFreshnessRequirement(*preq),
+		freshcache.WithHierarchyFanout(*fanout),
+		freshcache.WithMaxRelays(*relays),
+	}
+	opts := append([]freshcache.Option{freshcache.WithScheme(freshcache.SchemeName(*scheme))}, baseOpts...)
+	if *traceFile != "" {
+		baseOpts = append(baseOpts, freshcache.WithTraceFile(*traceFile))
+	} else {
+		baseOpts = append(baseOpts, freshcache.WithPreset(*preset))
+	}
+	if *queries > 0 {
+		baseOpts = append(baseOpts, freshcache.WithQueryWorkload(*queries, *zipf))
+	}
+	if *msgTime > 0 {
+		baseOpts = append(baseOpts, freshcache.WithBandwidth(*msgTime))
+	}
+	if *loss > 0 {
+		baseOpts = append(baseOpts, freshcache.WithMessageLoss(*loss))
+	}
+	if *churnUp > 0 || *churnDown > 0 {
+		baseOpts = append(baseOpts, freshcache.WithChurn(*churnUp, *churnDown))
+	}
+	if *distKnow {
+		baseOpts = append(baseOpts, freshcache.WithDistributedKnowledge())
+	}
+	if *rebuild > 0 {
+		baseOpts = append(baseOpts, freshcache.WithRebuildInterval(*rebuild))
+	}
+	if *relayCap > 0 {
+		baseOpts = append(baseOpts, freshcache.WithRelayBufferCap(*relayCap))
+	}
+	opts = append(opts, baseOpts...)
+
+	if *compare != "" {
+		return runComparison(*compare, baseOpts)
+	}
+	if *runs > 1 {
+		return runReplicated(*runs, *seed, *scheme, baseOpts)
+	}
+
+	sim, err := freshcache.New(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Println(res.String())
+	fmt.Printf("caching nodes:       %v\n", sim.CachingNodes())
+	fmt.Printf("freshness ratio:     %.4f\n", res.FreshnessRatio)
+	fmt.Printf("valid access ratio:  %.4f (fresh %.4f, answered %.4f of %d queries)\n",
+		res.ValidAnswers, res.FreshAnswers, res.AnsweredOK, res.Queries)
+	fmt.Printf("refresh delay:       mean %s, p90 %s, on-time %.4f\n",
+		time.Duration(res.MeanRefreshDelay*float64(time.Second)).Round(time.Second),
+		time.Duration(res.P90RefreshDelay*float64(time.Second)).Round(time.Second),
+		res.OnTimeRatio)
+	fmt.Printf("overhead:            %.2f tx/version (%d total; source share %.3f)\n",
+		res.TxPerVersion, res.Transmissions, res.SourceTxShare)
+	fmt.Printf("first-delivery on-time ratio: %.4f (requirement %.2f)\n",
+		sim.FirstDeliveryOnTimeRatio(), *preq)
+	return nil
+}
+
+// runReplicated runs the scheme over `runs` consecutive seeds and reports
+// the mean and 95% confidence half-width of the headline metrics.
+func runReplicated(runs int, baseSeed int64, scheme string, baseOpts []freshcache.Option) error {
+	var fresh, valid, tx []float64
+	for i := 0; i < runs; i++ {
+		opts := append([]freshcache.Option{
+			freshcache.WithScheme(freshcache.SchemeName(scheme)),
+		}, baseOpts...)
+		// Applied last so it overrides the base -seed flag.
+		opts = append(opts, freshcache.WithSeed(baseSeed+int64(i)))
+		sim, err := freshcache.New(opts...)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, res.FreshnessRatio)
+		valid = append(valid, res.ValidAccessRate)
+		tx = append(tx, res.TxPerVersion)
+	}
+	report := func(name string, xs []float64) {
+		fmt.Printf("%-20s %.4f ± %.4f (CI95 over %d seeds)\n", name+":", stats.Mean(xs), stats.CI95(xs), runs)
+	}
+	fmt.Printf("%s over seeds %d..%d\n", scheme, baseSeed, baseSeed+int64(runs)-1)
+	report("freshness ratio", fresh)
+	report("valid access rate", valid)
+	report("tx/version", tx)
+	return nil
+}
+
+// runComparison runs each named scheme over the identical configuration
+// and prints one comparison row per scheme.
+func runComparison(schemes string, baseOpts []freshcache.Option) error {
+	fmt.Printf("%-20s  %-9s  %-11s  %-10s  %-12s  %-8s\n",
+		"scheme", "freshness", "validAccess", "tx/version", "sourceShare", "loadGini")
+	for _, name := range strings.Split(schemes, ",") {
+		name = strings.TrimSpace(name)
+		opts := append([]freshcache.Option{freshcache.WithScheme(freshcache.SchemeName(name))}, baseOpts...)
+		sim, err := freshcache.New(opts...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%-20s  %-9.4f  %-11.4f  %-10.2f  %-12.3f  %-8.3f\n",
+			name, res.FreshnessRatio, res.ValidAccessRate, res.TxPerVersion,
+			res.SourceTxShare, res.LoadGini)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"freshcache/internal/mobility"
+	"freshcache/internal/trace"
+)
+
+func smallTraceFile(t *testing.T) string {
+	t.Helper()
+	g := &mobility.Community{
+		TraceName: "cli", N: 25, Duration: 4 * mobility.Day, Communities: 3,
+		IntraRate: 8.0 / mobility.Day, InterRate: 1.0 / mobility.Day, RateShape: 0.8,
+		InterPairFraction: 0.6, HubFraction: 0.1, HubBoost: 3, MeanContactDur: 120,
+	}
+	tr, err := g.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cli.contacts")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnTraceFile(t *testing.T) {
+	path := smallTraceFile(t)
+	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := smallTraceFile(t)
+	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFailureKnobs(t *testing.T) {
+	path := smallTraceFile(t)
+	args := []string{
+		"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h",
+		"-scheme", "adaptive", "-loss", "0.2", "-churn-up", "12h", "-churn-down", "2h",
+		"-distributed", "-rebuild", "24h", "-relaycap", "4", "-msgtime", "2s",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	path := smallTraceFile(t)
+	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h",
+		"-compare", "direct,hierarchical"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := smallTraceFile(t)
+	cases := [][]string{
+		{"-scheme", "bogus", "-trace", path},
+		{"-trace", filepath.Join(t.TempDir(), "missing")},
+		{"-trace", path, "-items", "0"},
+		{"-trace", path, "-compare", "direct,bogus"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	path := smallTraceFile(t)
+	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freshcache/internal/trace"
+)
+
+func TestRunPreset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.contacts")
+	if err := run([]string{"-preset", "infocom-like", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 78 {
+		t.Fatalf("N = %d", tr.N)
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	for _, model := range []string{"hetexp", "community"} {
+		out := filepath.Join(t.TempDir(), model+".contacts")
+		if err := run([]string{"-model", model, "-nodes", "15", "-days", "2", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		tr, err := trace.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.N != 15 || len(tr.Contacts) == 0 {
+			t.Fatalf("%s: %d nodes, %d contacts", model, tr.N, len(tr.Contacts))
+		}
+	}
+}
+
+func TestRunRWP(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rwp.contacts")
+	if err := run([]string{"-model", "rwp", "-nodes", "10", "-hours", "1", "-field", "300", "-range", "60", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-model", "bogus"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-preset", "bogus"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunWorkingDay(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wd.contacts")
+	if err := run([]string{"-model", "workingday", "-nodes", "20", "-days", "3", "-communities", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 20 || len(tr.Contacts) == 0 {
+		t.Fatalf("workingday: %d nodes, %d contacts", tr.N, len(tr.Contacts))
+	}
+}

@@ -1,0 +1,123 @@
+// Command tracetool transforms contact traces: converting formats (the
+// ONE simulator's StandardEvents is auto-detected on read), rebasing
+// epoch timestamps to zero, restricting to the most active nodes, and
+// concatenating traces in time.
+//
+// Usage:
+//
+//	tracetool convert one-export.txt -out native.contacts
+//	tracetool rebase epoch.contacts -out rebased.contacts
+//	tracetool subset big.contacts -top 50 -out small.contacts
+//	tracetool concat first.contacts second.contacts -out both.contacts
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"freshcache/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: tracetool <convert|rebase|subset|concat> [flags] <trace-file>...")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("tracetool "+cmd, flag.ContinueOnError)
+	var (
+		out = fs.String("out", "", "output file (default stdout)")
+		top = fs.Int("top", 50, "subset: keep this many most-active nodes")
+	)
+	// Accept "tracetool subset file -top 50" and "tracetool subset -top 50 file".
+	var files []string
+	for len(rest) > 0 {
+		if len(rest[0]) > 0 && rest[0][0] == '-' {
+			if err := fs.Parse(rest); err != nil {
+				return err
+			}
+			rest = fs.Args()
+			continue
+		}
+		files = append(files, rest[0])
+		rest = rest[1:]
+	}
+
+	var result *trace.Trace
+	switch cmd {
+	case "convert":
+		if len(files) != 1 {
+			return errors.New("convert needs exactly one trace file")
+		}
+		tr, err := trace.ReadFile(files[0])
+		if err != nil {
+			return err
+		}
+		result = tr
+	case "rebase":
+		if len(files) != 1 {
+			return errors.New("rebase needs exactly one trace file")
+		}
+		tr, err := trace.ReadFile(files[0])
+		if err != nil {
+			return err
+		}
+		result = tr.Rebase()
+	case "subset":
+		if len(files) != 1 {
+			return errors.New("subset needs exactly one trace file")
+		}
+		tr, err := trace.ReadFile(files[0])
+		if err != nil {
+			return err
+		}
+		nodes, err := tr.TopNodesByContacts(*top)
+		if err != nil {
+			return err
+		}
+		result, err = tr.Subset(nodes)
+		if err != nil {
+			return err
+		}
+	case "concat":
+		if len(files) < 2 {
+			return errors.New("concat needs at least two trace files")
+		}
+		tr, err := trace.ReadFile(files[0])
+		if err != nil {
+			return err
+		}
+		for _, f := range files[1:] {
+			next, err := trace.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			tr, err = tr.Concat(next)
+			if err != nil {
+				return err
+			}
+		}
+		result = tr
+	default:
+		return fmt.Errorf("unknown subcommand %q (have convert, rebase, subset, concat)", cmd)
+	}
+
+	if *out == "" {
+		return trace.Write(os.Stdout, result)
+	}
+	if err := trace.WriteFile(*out, result); err != nil {
+		return err
+	}
+	s := result.ComputeStats()
+	fmt.Printf("wrote %s: %d nodes, %.1f hours, %d contacts\n", *out, s.Nodes, s.DurationHours, s.Contacts)
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freshcache/internal/trace"
+)
+
+func writeTestTrace(t *testing.T, dir string) string {
+	t.Helper()
+	tr := &trace.Trace{Name: "t", N: 4, Duration: 1000, Contacts: []trace.Contact{
+		{A: 0, B: 1, Start: 100, End: 110},
+		{A: 0, B: 1, Start: 300, End: 320},
+		{A: 1, B: 2, Start: 400, End: 450},
+		{A: 2, B: 3, Start: 600, End: 610},
+	}}
+	path := filepath.Join(dir, "in.contacts")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertONE(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "one.txt")
+	if err := os.WriteFile(one, []byte("10 CONN 0 1 up\n50 CONN 0 1 down\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.contacts")
+	if err := run([]string{"convert", one, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts) != 1 || tr.Contacts[0].Start != 10 {
+		t.Fatalf("converted: %+v", tr.Contacts)
+	}
+}
+
+func TestRebaseCmd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrace(t, dir)
+	out := filepath.Join(dir, "rebased.contacts")
+	if err := run([]string{"rebase", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contacts[0].Start != 0 {
+		t.Fatalf("not rebased: %+v", tr.Contacts[0])
+	}
+}
+
+func TestSubsetCmd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrace(t, dir)
+	out := filepath.Join(dir, "subset.contacts")
+	if err := run([]string{"subset", in, "-top", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 2 {
+		t.Fatalf("subset N = %d", tr.N)
+	}
+}
+
+func TestConcatCmd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrace(t, dir)
+	out := filepath.Join(dir, "both.contacts")
+	if err := run([]string{"concat", in, in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration != 2000 || len(tr.Contacts) != 8 {
+		t.Fatalf("concat: %v s, %d contacts", tr.Duration, len(tr.Contacts))
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrace(t, dir)
+	cases := [][]string{
+		{},
+		{"bogus", in},
+		{"convert"},                  // missing file
+		{"convert", in, in},          // too many files
+		{"concat", in},               // needs two
+		{"subset", in, "-top", "99"}, // more than N
+		{"convert", filepath.Join(dir, "missing")},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package freshcache_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freshcache"
+)
+
+// The basic flow: configure a simulation with functional options, run it
+// once, read the aggregated result.
+func ExampleNew() {
+	sim, err := freshcache.New(
+		freshcache.WithPreset("infocom-like"),
+		freshcache.WithScheme(freshcache.SchemeHierarchical),
+		freshcache.WithUniformItems(3, 2*time.Hour),
+		freshcache.WithCachingNodes(6),
+		freshcache.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Scheme, res.Trace, res.VersionsGenerated > 0)
+	// Output: hierarchical infocom-like true
+}
+
+// Comparing two schemes on the identical trace, workload and seed.
+func ExampleNew_comparison() {
+	run := func(scheme freshcache.SchemeName) freshcache.Result {
+		sim, err := freshcache.New(
+			freshcache.WithPreset("infocom-like"),
+			freshcache.WithScheme(scheme),
+			freshcache.WithUniformItems(3, 2*time.Hour),
+			freshcache.WithCachingNodes(6),
+			freshcache.WithSeed(42),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	direct := run(freshcache.SchemeDirect)
+	hier := run(freshcache.SchemeHierarchical)
+	fmt.Println(hier.FreshnessRatio > direct.FreshnessRatio)
+	// Output: true
+}
+
+// A custom contact trace built inline: node 0 sources the item, nodes 1–2
+// cache it, and contacts drive everything.
+func ExampleWithContacts() {
+	var contacts []freshcache.Contact
+	at := func(m int) time.Duration { return time.Duration(m) * time.Minute }
+	for i := 1; i < 57; i += 3 {
+		contacts = append(contacts,
+			freshcache.Contact{A: 0, B: 1, Start: at(i), End: at(i) + 30*time.Second},
+			freshcache.Contact{A: 1, B: 2, Start: at(i + 1), End: at(i+1) + 30*time.Second},
+			freshcache.Contact{A: 2, B: 3, Start: at(i + 2), End: at(i+2) + 30*time.Second},
+		)
+	}
+	sim, err := freshcache.New(
+		freshcache.WithContacts(4, time.Hour, contacts),
+		freshcache.WithUniformItems(1, 10*time.Minute),
+		freshcache.WithCachingNodes(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Deliveries > 0)
+	// Output: true
+}
+
+// Listing the experiment suite.
+func ExampleExperiments() {
+	for _, e := range freshcache.Experiments()[:3] {
+		fmt.Println(e.ID, "—", e.Title)
+	}
+	// Output:
+	// E1 — Trace summary statistics
+	// E2 — Cache freshness ratio vs refresh interval
+	// E3 — Validity of data access vs query rate
+}

@@ -1,0 +1,43 @@
+// Quickstart: run the paper's hierarchical freshness-maintenance scheme on
+// a built-in synthetic trace and print the headline metrics next to the
+// source-only baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freshcache"
+)
+
+func main() {
+	for _, scheme := range []freshcache.SchemeName{
+		freshcache.SchemeDirect,
+		freshcache.SchemeHierarchical,
+	} {
+		sim, err := freshcache.New(
+			// 78 conference attendees over 4 days, dense daytime contacts.
+			freshcache.WithPreset("infocom-like"),
+			freshcache.WithScheme(scheme),
+			// 5 data items refreshed every 2 hours at nodes 0..4.
+			freshcache.WithUniformItems(5, 2*time.Hour),
+			// Cache at the 8 most central nodes.
+			freshcache.WithCachingNodes(8),
+			// Every node asks for data 4 times a day.
+			freshcache.WithQueryWorkload(4, 1.0),
+			freshcache.WithSeed(42),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s freshness=%.3f  valid-access=%.3f  tx/version=%.1f\n",
+			scheme+":", res.FreshnessRatio, res.ValidAnswers, res.TxPerVersion)
+	}
+	fmt.Println("\nhierarchical refreshing keeps caches markedly fresher than")
+	fmt.Println("source-only refreshing, at a fraction of flooding's overhead.")
+}

@@ -1,0 +1,16 @@
+package freshcache
+
+import (
+	"fmt"
+	"os"
+)
+
+// Small test helpers shared by the root-package tests.
+
+func tformat(a, b, at int) string {
+	return fmt.Sprintf("%d %d %d %d\n", a, b, at, at+10)
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,208 @@
+// Package analysis generalizes the paper's delivery-probability analysis
+// beyond the two-hop case: the delay of a k-hop opportunistic path under
+// the exponential contact model is hypoexponential (a sum of independent
+// exponentials with the per-hop contact rates), and this package computes
+// its CDF robustly for any k, plus the derived quantities the protocol
+// design uses — expected path delay, delay variance, and the minimal
+// window achieving a target delivery probability.
+//
+// The CDF is evaluated by uniformization of the underlying absorbing
+// Markov chain rather than the textbook partial-fraction closed form,
+// which is numerically catastrophic for nearly-equal rates. The
+// implementation is deterministic, allocation-light and validated against
+// Monte Carlo and the two-hop closed form in the tests.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoPath is returned when a path contains a hop with no contact rate:
+// such a path never delivers.
+var ErrNoPath = errors.New("analysis: path contains a zero-rate hop")
+
+// PathMean returns the expected delay of a path with the given per-hop
+// rates: Σ 1/λi.
+func PathMean(rates []float64) (float64, error) {
+	var sum float64
+	for _, r := range rates {
+		if r <= 0 {
+			return 0, ErrNoPath
+		}
+		sum += 1 / r
+	}
+	return sum, nil
+}
+
+// PathVar returns the delay variance of the path: Σ 1/λi².
+func PathVar(rates []float64) (float64, error) {
+	var sum float64
+	for _, r := range rates {
+		if r <= 0 {
+			return 0, ErrNoPath
+		}
+		sum += 1 / (r * r)
+	}
+	return sum, nil
+}
+
+// PathCDF returns P(X1 + … + Xk ≤ t) for independent Xi ~ Exp(rates[i]):
+// the probability a k-hop path delivers within t. An empty path delivers
+// immediately (probability 1 for t >= 0); any non-positive rate yields
+// ErrNoPath; t <= 0 yields 0.
+func PathCDF(rates []float64, t float64) (float64, error) {
+	for _, r := range rates {
+		if r <= 0 {
+			return 0, ErrNoPath
+		}
+	}
+	if len(rates) == 0 {
+		return 1, nil
+	}
+	if t <= 0 {
+		return 0, nil
+	}
+
+	// Far beyond the mean the CDF is indistinguishable from 1; this also
+	// bounds the uniformization workload below.
+	mean, err := PathMean(rates)
+	if err != nil {
+		return 0, err
+	}
+	variance, err := PathVar(rates)
+	if err != nil {
+		return 0, err
+	}
+	if t > mean+40*math.Sqrt(variance) {
+		return 1, nil
+	}
+
+	// Hops whose mean is below 0.01% of t are effectively instantaneous:
+	// dropping them shifts the CDF argument by at most k·t/1e4, for a CDF
+	// error on the order of 1e-3 in the worst case and far less
+	// typically. It also caps the uniformization workload at
+	// Λt ≤ 1e4 after preprocessing.
+	active := make([]float64, 0, len(rates))
+	for _, r := range rates {
+		if r*t < 1e4 {
+			active = append(active, r)
+		}
+	}
+	if len(active) == 0 {
+		return 1, nil
+	}
+
+	return 1 - hypoSurvivalUniformized(active, t), nil
+}
+
+// hypoSurvivalUniformized computes P(X1+…+Xk > t) by uniformizing the
+// absorbing chain 1 → 2 → … → k → done: with uniformization rate
+// Λ = max λi, the survival probability is
+//
+//	Σ_{n≥0} Poisson(n; Λt) · P(chain transient after n uniformized jumps)
+//
+// where each uniformized jump advances phase i with probability λi/Λ and
+// self-loops otherwise. Poisson weights are generated iteratively
+// (log-domain start) and the series truncated once the remaining tail is
+// below 1e-12.
+func hypoSurvivalUniformized(rates []float64, t float64) float64 {
+	lambda := 0.0
+	for _, r := range rates {
+		if r > lambda {
+			lambda = r
+		}
+	}
+	lt := lambda * t
+
+	// p[i] = probability of being in transient phase i; absorbed mass
+	// drops out of the vector.
+	p := make([]float64, len(rates))
+	p[0] = 1
+	next := make([]float64, len(rates))
+
+	// Iterative Poisson pmf: start at n=0 in log domain to avoid
+	// underflow for large Λt.
+	logPMF := -lt // log Poisson(0; Λt)
+	survival := 0.0
+	accumulated := 0.0 // Σ pmf so far
+
+	transient := 1.0
+	for n := 0; ; n++ {
+		pmf := math.Exp(logPMF)
+		survival += pmf * transient
+		accumulated += pmf
+
+		// Tail bound: remaining Poisson mass × current transient mass
+		// (transient mass only shrinks with n).
+		if 1-accumulated < 1e-12 || transient < 1e-14 {
+			break
+		}
+		if n > 10_000_000 {
+			// Unreachable with the preprocessing in PathCDF; a defensive
+			// bound beats an infinite loop.
+			break
+		}
+
+		// One uniformized jump.
+		for i := range next {
+			stay := 1 - rates[i]/lambda
+			next[i] = p[i] * stay
+			if i > 0 {
+				next[i] += p[i-1] * (rates[i-1] / lambda)
+			}
+		}
+		p, next = next, p
+		transient = 0
+		for _, v := range p {
+			transient += v
+		}
+
+		logPMF += math.Log(lt) - math.Log(float64(n+1))
+	}
+	if survival < 0 {
+		return 0
+	}
+	if survival > 1 {
+		return 1
+	}
+	return survival
+}
+
+// MinimalWindow returns the smallest t such that PathCDF(rates, t) >= p,
+// by bisection — the window a path needs to meet a delivery-probability
+// requirement. p must be in (0, 1).
+func MinimalWindow(rates []float64, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("analysis: target probability %v outside (0,1)", p)
+	}
+	if len(rates) == 0 {
+		return 0, nil
+	}
+	mean, err := PathMean(rates)
+	if err != nil {
+		return 0, err
+	}
+	variance, err := PathVar(rates)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := 0.0, mean+40*math.Sqrt(variance)
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		cdf, err := PathCDF(rates, mid)
+		if err != nil {
+			return 0, err
+		}
+		if cdf >= p {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo < 1e-9*(1+hi) {
+			break
+		}
+	}
+	return hi, nil
+}

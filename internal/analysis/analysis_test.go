@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"freshcache/internal/stats"
+)
+
+func TestPathMeanVar(t *testing.T) {
+	mean, err := PathMean([]float64{0.5, 0.25})
+	if err != nil || math.Abs(mean-6) > 1e-12 {
+		t.Fatalf("mean = %v, %v", mean, err)
+	}
+	v, err := PathVar([]float64{0.5, 0.25})
+	if err != nil || math.Abs(v-20) > 1e-12 {
+		t.Fatalf("var = %v, %v", v, err)
+	}
+	if _, err := PathMean([]float64{1, 0}); !errors.Is(err, ErrNoPath) {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := PathVar([]float64{-1}); !errors.Is(err, ErrNoPath) {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestPathCDFEdgeCases(t *testing.T) {
+	if p, err := PathCDF(nil, 5); err != nil || p != 1 {
+		t.Fatalf("empty path: %v, %v", p, err)
+	}
+	if p, err := PathCDF([]float64{1}, 0); err != nil || p != 0 {
+		t.Fatalf("t=0: %v, %v", p, err)
+	}
+	if _, err := PathCDF([]float64{1, 0}, 5); !errors.Is(err, ErrNoPath) {
+		t.Fatal("zero-rate hop accepted")
+	}
+}
+
+func TestPathCDFSingleHopMatchesExp(t *testing.T) {
+	for _, rate := range []float64{0.001, 0.1, 3} {
+		for _, tt := range []float64{0.5, 5, 100, 5000} {
+			got, err := PathCDF([]float64{rate}, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := stats.ExpCDF(rate, tt)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("PathCDF([%v], %v) = %v, want %v", rate, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestPathCDFTwoHopMatchesClosedForm(t *testing.T) {
+	cases := [][3]float64{
+		{0.5, 0.5, 3}, {0.2, 1.0, 5}, {2.0, 0.1, 10}, {1.0, 1.0000001, 2},
+		{0.001, 0.002, 2000},
+	}
+	for _, c := range cases {
+		got, err := PathCDF([]float64{c[0], c[1]}, c[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := stats.HypoExpCDF(c[0], c[1], c[2])
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("PathCDF(%v,%v | %v) = %v, closed form %v", c[0], c[1], c[2], got, want)
+		}
+	}
+}
+
+func TestPathCDFAgainstMonteCarlo(t *testing.T) {
+	rng := stats.NewRNG(8)
+	paths := [][]float64{
+		{0.01, 0.02, 0.005},
+		{0.1, 0.1, 0.1, 0.1},                 // Erlang-4: repeated rates
+		{1, 0.001, 5, 0.01},                  // wildly heterogeneous
+		{0.02, 0.02, 0.019999, 0.05, 0.0003}, // near-equal + slow tail
+	}
+	for _, rates := range paths {
+		mean, err := PathMean(rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frac := range []float64{0.3, 1, 2} {
+			tt := mean * frac
+			const n = 200000
+			hits := 0
+			for i := 0; i < n; i++ {
+				var sum float64
+				for _, r := range rates {
+					sum += stats.Exp(rng, r)
+				}
+				if sum <= tt {
+					hits++
+				}
+			}
+			mc := float64(hits) / n
+			got, err := PathCDF(rates, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-mc) > 0.01 {
+				t.Fatalf("PathCDF(%v, %v) = %v, Monte Carlo %v", rates, tt, got, mc)
+			}
+		}
+	}
+}
+
+// Property: PathCDF is a valid CDF — bounded, monotone in t, and adding a
+// hop never raises it.
+func TestPathCDFProperties(t *testing.T) {
+	f := func(seed int64, kRaw uint8, t1, t2 float64) bool {
+		rng := stats.NewRNG(seed)
+		k := 1 + int(kRaw%5)
+		rates := make([]float64, k)
+		for i := range rates {
+			rates[i] = 0.001 + stats.Exp(rng, 10)
+		}
+		t1 = math.Abs(t1)
+		t2 = math.Abs(t2)
+		if math.IsNaN(t1) || math.IsNaN(t2) || math.IsInf(t1, 0) || math.IsInf(t2, 0) {
+			return true
+		}
+		t1 = math.Mod(t1, 1e6)
+		t2 = math.Mod(t2, 1e6)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		p1, err := PathCDF(rates, t1)
+		if err != nil {
+			return false
+		}
+		p2, err := PathCDF(rates, t2)
+		if err != nil {
+			return false
+		}
+		if p1 < 0 || p2 > 1 || p1 > p2+1e-9 {
+			return false
+		}
+		longer, err := PathCDF(append(rates, 0.01), t2)
+		if err != nil {
+			return false
+		}
+		return longer <= p2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathCDFFarTail(t *testing.T) {
+	// 40 standard deviations beyond the mean: shortcut to 1.
+	got, err := PathCDF([]float64{0.01, 0.02}, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("far tail = %v, want 1", got)
+	}
+}
+
+func TestPathCDFInstantHopsDropped(t *testing.T) {
+	// A hop with rate 1e6 at t=1000 (mean 1µs) is instantaneous; result
+	// must match the path without it.
+	with, err := PathCDF([]float64{1e6, 0.005}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := PathCDF([]float64{0.005}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(with-without) > 1e-6 {
+		t.Fatalf("instant hop changed CDF: %v vs %v", with, without)
+	}
+}
+
+func TestMinimalWindow(t *testing.T) {
+	rates := []float64{0.01, 0.02}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		w, err := MinimalWindow(rates, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PathCDF(rates, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < p-1e-6 {
+			t.Fatalf("window %v gives CDF %v < target %v", w, got, p)
+		}
+		// Slightly smaller window must miss the target.
+		below, err := PathCDF(rates, w*0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if below >= p {
+			t.Fatalf("window not minimal: %v at 0.99w still >= %v", below, p)
+		}
+	}
+}
+
+func TestMinimalWindowValidation(t *testing.T) {
+	if _, err := MinimalWindow([]float64{1}, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := MinimalWindow([]float64{1}, 1); err == nil {
+		t.Fatal("p=1 accepted")
+	}
+	if _, err := MinimalWindow([]float64{0}, 0.5); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if w, err := MinimalWindow(nil, 0.5); err != nil || w != 0 {
+		t.Fatalf("empty path: %v, %v", w, err)
+	}
+}
+
+// Property: MinimalWindow is monotone in p.
+func TestMinimalWindowMonotone(t *testing.T) {
+	f := func(seed int64, p1, p2 float64) bool {
+		rng := stats.NewRNG(seed)
+		rates := []float64{0.001 + stats.Exp(rng, 100), 0.001 + stats.Exp(rng, 100)}
+		p1 = 0.05 + 0.9*math.Mod(math.Abs(p1), 1)
+		p2 = 0.05 + 0.9*math.Mod(math.Abs(p2), 1)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		w1, err := MinimalWindow(rates, p1)
+		if err != nil {
+			return false
+		}
+		w2, err := MinimalWindow(rates, p2)
+		if err != nil {
+			return false
+		}
+		return w1 <= w2+1e-6*(1+w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package cache is the cooperative-caching substrate the freshness scheme
+// maintains: data items refreshed periodically at their sources, versioned
+// cached copies with expiration, per-node stores with capacity and LRU
+// eviction, and the query workload whose access validity the evaluation
+// reports.
+package cache
+
+import (
+	"fmt"
+
+	"freshcache/internal/trace"
+)
+
+// ItemID identifies a data item. IDs are dense in [0, number of items).
+type ItemID int
+
+// Item is the static description of a data item.
+type Item struct {
+	ID     ItemID
+	Source trace.NodeID
+	// RefreshInterval R: the source generates version k at Phase + k·R
+	// seconds after the measurement phase starts.
+	RefreshInterval float64
+	// Phase offsets this item's generation schedule within the refresh
+	// cycle (0 <= Phase < R), so items need not all publish at the same
+	// instant.
+	Phase float64
+	// FreshnessWindow F: the freshness requirement — a newly generated
+	// version should reach every caching node within F seconds of its
+	// generation (with the scheme's configured probability).
+	FreshnessWindow float64
+	// Lifetime L: a copy expires L seconds after its version was
+	// generated, independent of newer versions existing. L >= R, and is
+	// typically a small multiple of R ("refreshed periodically and subject
+	// to expiration").
+	Lifetime float64
+	// Size in abstract storage units, consumed from store capacity.
+	Size int
+}
+
+// Validate checks the item's parameters.
+func (it Item) Validate() error {
+	switch {
+	case it.ID < 0:
+		return fmt.Errorf("cache: negative item id %d", it.ID)
+	case it.Source < 0:
+		return fmt.Errorf("cache: item %d: negative source %d", it.ID, it.Source)
+	case it.RefreshInterval <= 0:
+		return fmt.Errorf("cache: item %d: non-positive refresh interval %v", it.ID, it.RefreshInterval)
+	case it.Phase < 0 || it.Phase >= it.RefreshInterval:
+		return fmt.Errorf("cache: item %d: phase %v outside [0, refresh interval)", it.ID, it.Phase)
+	case it.FreshnessWindow <= 0:
+		return fmt.Errorf("cache: item %d: non-positive freshness window %v", it.ID, it.FreshnessWindow)
+	case it.Lifetime < it.RefreshInterval:
+		return fmt.Errorf("cache: item %d: lifetime %v below refresh interval %v", it.ID, it.Lifetime, it.RefreshInterval)
+	case it.Size <= 0:
+		return fmt.Errorf("cache: item %d: non-positive size %d", it.ID, it.Size)
+	}
+	return nil
+}
+
+// Copy is a cached copy of one version of an item.
+type Copy struct {
+	Item        ItemID
+	Version     int
+	GeneratedAt float64 // when the source generated this version
+	ReceivedAt  float64 // when this node obtained the copy
+}
+
+// Expired reports whether the copy is past the item's lifetime at time
+// now.
+func (c Copy) Expired(it Item, now float64) bool {
+	return now-c.GeneratedAt > it.Lifetime
+}
+
+// Catalog is the immutable set of items in a scenario, indexed by ID.
+type Catalog struct {
+	items []Item
+}
+
+// NewCatalog validates and indexes the items. Item IDs must equal their
+// position.
+func NewCatalog(items []Item) (*Catalog, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("cache: empty catalog")
+	}
+	out := make([]Item, len(items))
+	for i, it := range items {
+		if err := it.Validate(); err != nil {
+			return nil, err
+		}
+		if int(it.ID) != i {
+			return nil, fmt.Errorf("cache: item at position %d has id %d", i, it.ID)
+		}
+		out[i] = it
+	}
+	return &Catalog{items: out}, nil
+}
+
+// Len returns the number of items.
+func (c *Catalog) Len() int { return len(c.items) }
+
+// Item returns the item with the given ID.
+func (c *Catalog) Item(id ItemID) (Item, error) {
+	if id < 0 || int(id) >= len(c.items) {
+		return Item{}, fmt.Errorf("cache: no item %d", id)
+	}
+	return c.items[id], nil
+}
+
+// Items returns a copy of the item list.
+func (c *Catalog) Items() []Item {
+	out := make([]Item, len(c.items))
+	copy(out, c.items)
+	return out
+}
+
+// CurrentVersion returns the newest version number of the item at time
+// `now`, where version k is generated at epoch + Phase + k·R. Before the
+// item's first generation the version is -1 (nothing generated yet).
+func CurrentVersion(it Item, epoch, now float64) int {
+	if now < epoch+it.Phase {
+		return -1
+	}
+	return int((now - epoch - it.Phase) / it.RefreshInterval)
+}
+
+// VersionTime returns the generation time of version v of the item.
+func VersionTime(it Item, epoch float64, v int) float64 {
+	return epoch + it.Phase + float64(v)*it.RefreshInterval
+}

@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the store's eviction policy.
+type Policy int
+
+const (
+	// EvictLRU evicts the least-recently-used item (default).
+	EvictLRU Policy = iota
+	// EvictLFU evicts the least-frequently-used item (ties by recency).
+	EvictLFU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictLFU:
+		return "lfu"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Store is one node's cache: at most one copy per item, bounded total
+// size, LRU or LFU eviction. The zero value is not usable; create with
+// NewStore.
+type Store struct {
+	capacity int // total size units; 0 = unlimited
+	policy   Policy
+	used     int
+	copies   map[ItemID]Copy
+	lastUsed map[ItemID]float64
+	useCount map[ItemID]int
+	catalog  *Catalog
+
+	evictions int
+}
+
+// NewStore creates an LRU store with the given capacity in size units
+// (0 = unlimited) over the catalog's items.
+func NewStore(catalog *Catalog, capacity int) (*Store, error) {
+	return NewStoreWithPolicy(catalog, capacity, EvictLRU)
+}
+
+// NewStoreWithPolicy creates a store with an explicit eviction policy.
+func NewStoreWithPolicy(catalog *Catalog, capacity int, policy Policy) (*Store, error) {
+	if catalog == nil {
+		return nil, fmt.Errorf("cache: nil catalog")
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	if policy != EvictLRU && policy != EvictLFU {
+		return nil, fmt.Errorf("cache: unknown policy %d", int(policy))
+	}
+	return &Store{
+		capacity: capacity,
+		policy:   policy,
+		copies:   make(map[ItemID]Copy),
+		lastUsed: make(map[ItemID]float64),
+		useCount: make(map[ItemID]int),
+		catalog:  catalog,
+	}, nil
+}
+
+// Get returns the stored copy of the item, if any, marking it used at
+// time now.
+func (s *Store) Get(id ItemID, now float64) (Copy, bool) {
+	c, ok := s.copies[id]
+	if ok {
+		s.lastUsed[id] = now
+		s.useCount[id]++
+	}
+	return c, ok
+}
+
+// Peek returns the stored copy without touching recency. Used by metrics
+// sampling so observation does not perturb eviction.
+func (s *Store) Peek(id ItemID) (Copy, bool) {
+	c, ok := s.copies[id]
+	return c, ok
+}
+
+// Put inserts or replaces the copy of an item, evicting least-recently-
+// used other items if needed. A Put of an older (or equal) version than
+// the stored one is ignored and reported false — freshness never goes
+// backwards. Putting a copy too large for the whole store is an error.
+func (s *Store) Put(c Copy, now float64) (bool, error) {
+	it, err := s.catalog.Item(c.Item)
+	if err != nil {
+		return false, err
+	}
+	if old, ok := s.copies[c.Item]; ok {
+		if c.Version <= old.Version {
+			return false, nil
+		}
+		// Same item: replace in place; size unchanged.
+		s.copies[c.Item] = c
+		s.lastUsed[c.Item] = now
+		return true, nil
+	}
+	if s.capacity > 0 {
+		if it.Size > s.capacity {
+			return false, fmt.Errorf("cache: item %d size %d exceeds store capacity %d", c.Item, it.Size, s.capacity)
+		}
+		if err := s.evictFor(it.Size); err != nil {
+			return false, err
+		}
+	}
+	s.copies[c.Item] = c
+	s.lastUsed[c.Item] = now
+	s.used += it.Size
+	return true, nil
+}
+
+// evictFor frees space until `need` more units fit, per the store policy.
+func (s *Store) evictFor(need int) error {
+	for s.used+need > s.capacity {
+		victim := ItemID(-1)
+		first := true
+		for id := range s.copies {
+			if first {
+				victim, first = id, false
+				continue
+			}
+			if s.worseThan(id, victim) {
+				victim = id
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("cache: nothing to evict but %d/%d used", s.used, s.capacity)
+		}
+		it, err := s.catalog.Item(victim)
+		if err != nil {
+			return err
+		}
+		delete(s.copies, victim)
+		delete(s.lastUsed, victim)
+		delete(s.useCount, victim)
+		s.used -= it.Size
+		s.evictions++
+	}
+	return nil
+}
+
+// worseThan reports whether a is a better eviction victim than b under the
+// store policy, with deterministic tie-breaking (recency, then ID).
+func (s *Store) worseThan(a, b ItemID) bool {
+	if s.policy == EvictLFU {
+		if s.useCount[a] != s.useCount[b] {
+			return s.useCount[a] < s.useCount[b]
+		}
+	}
+	if s.lastUsed[a] != s.lastUsed[b] {
+		return s.lastUsed[a] < s.lastUsed[b]
+	}
+	return a < b
+}
+
+// Drop removes the copy of an item if present (e.g. expired data purge).
+func (s *Store) Drop(id ItemID) {
+	if _, ok := s.copies[id]; !ok {
+		return
+	}
+	it, err := s.catalog.Item(id)
+	if err == nil {
+		s.used -= it.Size
+	}
+	delete(s.copies, id)
+	delete(s.lastUsed, id)
+	delete(s.useCount, id)
+}
+
+// Len returns the number of cached items.
+func (s *Store) Len() int { return len(s.copies) }
+
+// Used returns the occupied size units.
+func (s *Store) Used() int { return s.used }
+
+// Evictions returns the number of LRU evictions performed.
+func (s *Store) Evictions() int { return s.evictions }
+
+// Items returns the stored item IDs in ascending order.
+func (s *Store) Items() []ItemID {
+	ids := make([]ItemID, 0, len(s.copies))
+	for id := range s.copies {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

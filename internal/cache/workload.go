@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// Query is one data-access request issued by a mobile node. It is pulled:
+// the query stays pending at the requester until the requester contacts a
+// node that holds a copy of the item (a caching node or the source), or
+// until it times out.
+type Query struct {
+	ID        int
+	Requester trace.NodeID
+	Item      ItemID
+	IssuedAt  float64
+
+	// Resolution, meaningful when Served.
+	Served            bool
+	ServedAt          float64
+	ServedVersion     int
+	ServedGeneratedAt float64
+	// Fresh records whether the served copy was the newest version at
+	// service time; Valid whether it was within the item's lifetime.
+	Fresh bool
+	Valid bool
+}
+
+// WorkloadConfig describes the query workload: every node issues queries
+// as a Poisson process, items chosen by a Zipf popularity law.
+type WorkloadConfig struct {
+	// QueryRate is each node's query rate in queries/second.
+	QueryRate float64
+	// ZipfExponent skews item popularity; values near 1 are typical.
+	ZipfExponent float64
+	// Timeout discards unanswered queries after this many seconds
+	// (0 = never).
+	Timeout float64
+}
+
+// Validate checks the workload parameters.
+func (c WorkloadConfig) Validate() error {
+	if c.QueryRate <= 0 {
+		return fmt.Errorf("cache: non-positive query rate %v", c.QueryRate)
+	}
+	if c.ZipfExponent <= 0 {
+		return fmt.Errorf("cache: non-positive zipf exponent %v", c.ZipfExponent)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("cache: negative timeout %v", c.Timeout)
+	}
+	return nil
+}
+
+// GenerateQueries pre-computes the deterministic query schedule for all n
+// nodes over [from, to), sorted by issue time. Pre-computing (rather than
+// scheduling online) keeps the RNG stream independent of protocol
+// behavior, so every scheme sees the identical workload.
+func GenerateQueries(cfg WorkloadConfig, catalog *Catalog, n int, from, to float64, seed int64) ([]*Query, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cache: non-positive node count %d", n)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("cache: empty workload window [%v,%v)", from, to)
+	}
+	rng := stats.Derive(seed, "cache/workload")
+	pick := stats.Zipf(rng, cfg.ZipfExponent, catalog.Len())
+	var queries []*Query
+	for node := 0; node < n; node++ {
+		t := from + stats.Exp(rng, cfg.QueryRate)
+		for t < to {
+			queries = append(queries, &Query{
+				Requester: trace.NodeID(node),
+				Item:      ItemID(pick()),
+				IssuedAt:  t,
+			})
+			t += stats.Exp(rng, cfg.QueryRate)
+		}
+	}
+	sort.SliceStable(queries, func(i, j int) bool {
+		if queries[i].IssuedAt != queries[j].IssuedAt {
+			return queries[i].IssuedAt < queries[j].IssuedAt
+		}
+		return queries[i].Requester < queries[j].Requester
+	})
+	for i, q := range queries {
+		q.ID = i
+	}
+	return queries, nil
+}
+
+// QueryBook tracks pending queries per requester and the full access log.
+type QueryBook struct {
+	timeout float64
+	pending map[trace.NodeID][]*Query
+	all     []*Query
+}
+
+// NewQueryBook creates an empty book with the given timeout
+// (0 = queries never time out).
+func NewQueryBook(timeout float64) *QueryBook {
+	return &QueryBook{
+		timeout: timeout,
+		pending: make(map[trace.NodeID][]*Query),
+	}
+}
+
+// Issue registers a new pending query.
+func (b *QueryBook) Issue(q *Query) {
+	b.pending[q.Requester] = append(b.pending[q.Requester], q)
+	b.all = append(b.all, q)
+}
+
+// Pending returns the live pending queries of a node at time now,
+// discarding timed-out ones as a side effect.
+func (b *QueryBook) Pending(node trace.NodeID, now float64) []*Query {
+	qs := b.pending[node]
+	if b.timeout > 0 {
+		live := qs[:0]
+		for _, q := range qs {
+			if now-q.IssuedAt <= b.timeout {
+				live = append(live, q)
+			}
+		}
+		qs = live
+		b.pending[node] = qs
+	}
+	return qs
+}
+
+// Resolve marks a pending query served by the given copy. epoch is the
+// measurement-phase start used to compute the item's newest version.
+func (b *QueryBook) Resolve(q *Query, it Item, c Copy, epoch, now float64) error {
+	if q.Served {
+		return fmt.Errorf("cache: query %d resolved twice", q.ID)
+	}
+	if c.Item != q.Item {
+		return fmt.Errorf("cache: query %d for item %d resolved with copy of %d", q.ID, q.Item, c.Item)
+	}
+	q.Served = true
+	q.ServedAt = now
+	q.ServedVersion = c.Version
+	q.ServedGeneratedAt = c.GeneratedAt
+	q.Fresh = c.Version >= CurrentVersion(it, epoch, now)
+	q.Valid = !c.Expired(it, now)
+
+	qs := b.pending[q.Requester]
+	for i, p := range qs {
+		if p == q {
+			b.pending[q.Requester] = append(qs[:i], qs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// All returns the full query log (served and not).
+func (b *QueryBook) All() []*Query { return b.all }

@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"math"
+	"testing"
+)
+
+func testWorkload() WorkloadConfig {
+	return WorkloadConfig{QueryRate: 1.0 / 600, ZipfExponent: 1.0, Timeout: 0}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := testWorkload().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []WorkloadConfig{
+		{QueryRate: 0, ZipfExponent: 1},
+		{QueryRate: 1, ZipfExponent: 0},
+		{QueryRate: 1, ZipfExponent: 1, Timeout: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	cat := testCatalog(t, 5)
+	qs, err := GenerateQueries(testWorkload(), cat, 10, 1000, 1000+86400, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 nodes * 1 query/600s * 86400s = ~1440 expected.
+	if len(qs) < 1000 || len(qs) > 2000 {
+		t.Fatalf("generated %d queries, expected ~1440", len(qs))
+	}
+	prev := 0.0
+	for i, q := range qs {
+		if q.ID != i {
+			t.Fatalf("query %d has id %d", i, q.ID)
+		}
+		if q.IssuedAt < 1000 || q.IssuedAt >= 1000+86400 {
+			t.Fatalf("query at %v outside window", q.IssuedAt)
+		}
+		if q.IssuedAt < prev {
+			t.Fatal("queries not sorted by time")
+		}
+		if q.Item < 0 || int(q.Item) >= 5 {
+			t.Fatalf("query item %d out of range", q.Item)
+		}
+		if q.Requester < 0 || int(q.Requester) >= 10 {
+			t.Fatalf("query requester %d out of range", q.Requester)
+		}
+		prev = q.IssuedAt
+	}
+}
+
+func TestGenerateQueriesDeterministic(t *testing.T) {
+	cat := testCatalog(t, 3)
+	a, err := GenerateQueries(testWorkload(), cat, 5, 0, 86400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateQueries(testWorkload(), cat, 5, 0, 86400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestGenerateQueriesZipfSkew(t *testing.T) {
+	cat := testCatalog(t, 10)
+	qs, err := GenerateQueries(WorkloadConfig{QueryRate: 1.0 / 60, ZipfExponent: 1.2}, cat, 20, 0, 86400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, q := range qs {
+		counts[q.Item]++
+	}
+	if counts[0] <= counts[9]*2 {
+		t.Fatalf("no popularity skew: %v", counts)
+	}
+}
+
+func TestGenerateQueriesErrors(t *testing.T) {
+	cat := testCatalog(t, 2)
+	if _, err := GenerateQueries(WorkloadConfig{}, cat, 5, 0, 100, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := GenerateQueries(testWorkload(), cat, 0, 0, 100, 1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := GenerateQueries(testWorkload(), cat, 5, 100, 100, 1); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestQueryBookLifecycle(t *testing.T) {
+	cat := testCatalog(t, 2)
+	it, _ := cat.Item(0)
+	b := NewQueryBook(0)
+	q := &Query{ID: 0, Requester: 3, Item: 0, IssuedAt: 10}
+	b.Issue(q)
+	if got := b.Pending(3, 20); len(got) != 1 || got[0] != q {
+		t.Fatalf("pending = %v", got)
+	}
+	if got := b.Pending(4, 20); len(got) != 0 {
+		t.Fatalf("wrong node has pending queries: %v", got)
+	}
+	// Served at t=150 with version 0 (generated at 0, epoch 0): current
+	// version at 150 is 1 (R=100), so not fresh but valid (lifetime 200).
+	c := Copy{Item: 0, Version: 0, GeneratedAt: 0, ReceivedAt: 50}
+	if err := b.Resolve(q, it, c, 0, 150); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Served || q.ServedAt != 150 || q.ServedVersion != 0 {
+		t.Fatalf("resolution: %+v", q)
+	}
+	if q.Fresh {
+		t.Fatal("stale copy marked fresh")
+	}
+	if !q.Valid {
+		t.Fatal("unexpired copy marked invalid")
+	}
+	if got := b.Pending(3, 160); len(got) != 0 {
+		t.Fatal("resolved query still pending")
+	}
+	if len(b.All()) != 1 {
+		t.Fatalf("log length %d", len(b.All()))
+	}
+}
+
+func TestQueryBookFreshAndExpired(t *testing.T) {
+	cat := testCatalog(t, 1)
+	it, _ := cat.Item(0)
+	b := NewQueryBook(0)
+
+	fresh := &Query{ID: 0, Requester: 1, Item: 0, IssuedAt: 10}
+	b.Issue(fresh)
+	if err := b.Resolve(fresh, it, Copy{Item: 0, Version: 0, GeneratedAt: 0}, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Fresh || !fresh.Valid {
+		t.Fatalf("fresh copy misclassified: %+v", fresh)
+	}
+
+	expired := &Query{ID: 1, Requester: 1, Item: 0, IssuedAt: 10}
+	b.Issue(expired)
+	if err := b.Resolve(expired, it, Copy{Item: 0, Version: 0, GeneratedAt: 0}, 0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if expired.Fresh {
+		t.Fatal("old version marked fresh at t=250")
+	}
+	if expired.Valid {
+		t.Fatal("copy past lifetime marked valid")
+	}
+}
+
+func TestQueryBookTimeout(t *testing.T) {
+	b := NewQueryBook(100)
+	q := &Query{ID: 0, Requester: 1, Item: 0, IssuedAt: 10}
+	b.Issue(q)
+	if got := b.Pending(1, 100); len(got) != 1 {
+		t.Fatal("query timed out early")
+	}
+	if got := b.Pending(1, 111); len(got) != 0 {
+		t.Fatal("query did not time out")
+	}
+	// Still in the log as unserved.
+	if len(b.All()) != 1 || b.All()[0].Served {
+		t.Fatalf("log: %+v", b.All())
+	}
+}
+
+func TestQueryBookResolveErrors(t *testing.T) {
+	cat := testCatalog(t, 2)
+	it, _ := cat.Item(0)
+	b := NewQueryBook(0)
+	q := &Query{ID: 0, Requester: 1, Item: 0, IssuedAt: 10}
+	b.Issue(q)
+	if err := b.Resolve(q, it, Copy{Item: 1}, 0, 50); err == nil {
+		t.Fatal("wrong-item resolution accepted")
+	}
+	if err := b.Resolve(q, it, Copy{Item: 0}, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resolve(q, it, Copy{Item: 0}, 0, 60); err == nil {
+		t.Fatal("double resolution accepted")
+	}
+}
+
+func TestQueryRateScalesCount(t *testing.T) {
+	cat := testCatalog(t, 2)
+	low, err := GenerateQueries(WorkloadConfig{QueryRate: 1.0 / 3600, ZipfExponent: 1}, cat, 10, 0, 86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := GenerateQueries(WorkloadConfig{QueryRate: 4.0 / 3600, ZipfExponent: 1}, cat, 10, 0, 86400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(high)) / float64(len(low))
+	if math.Abs(ratio-4) > 1 {
+		t.Fatalf("rate scaling ratio = %v, want ~4", ratio)
+	}
+}

@@ -1,0 +1,324 @@
+// Package centrality implements the contact-based metrics the scheme is
+// built on: pairwise contact-rate estimation (the λij of the Poisson
+// contact model), the cumulative-contact-probability centrality used in
+// this paper family, and the greedy coverage-based selection of caching
+// nodes (the Network Central Locations of Gao & Cao's cooperative-caching
+// substrate).
+package centrality
+
+import (
+	"fmt"
+	"sort"
+
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// RateMatrix holds symmetric pairwise contact rates (1/s) for N nodes.
+type RateMatrix struct {
+	n     int
+	rates []float64 // flat n*n, both (a,b) and (b,a) kept in sync
+}
+
+// NewRateMatrix returns a zero rate matrix for n nodes.
+func NewRateMatrix(n int) *RateMatrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("centrality: non-positive node count %d", n))
+	}
+	return &RateMatrix{n: n, rates: make([]float64, n*n)}
+}
+
+// N returns the number of nodes.
+func (m *RateMatrix) N() int { return m.n }
+
+// Set records the contact rate for the pair (a, b).
+func (m *RateMatrix) Set(a, b trace.NodeID, rate float64) {
+	m.rates[int(a)*m.n+int(b)] = rate
+	m.rates[int(b)*m.n+int(a)] = rate
+}
+
+// Rate returns the contact rate of the pair (a, b); zero for pairs that
+// never meet and for a == b.
+func (m *RateMatrix) Rate(a, b trace.NodeID) float64 {
+	if a == b {
+		return 0
+	}
+	return m.rates[int(a)*m.n+int(b)]
+}
+
+// FromTrace builds the oracle rate matrix from the contacts starting in
+// [from, to). This is the converged-knowledge estimator used when a
+// protocol is granted full rate information; the online counterpart is
+// Estimator.
+func FromTrace(t *trace.Trace, from, to float64) (*RateMatrix, error) {
+	if to <= from {
+		return nil, fmt.Errorf("centrality: empty window [%v,%v)", from, to)
+	}
+	m := NewRateMatrix(t.N)
+	counts := make([]int, t.N*t.N)
+	for _, c := range t.Contacts {
+		if c.Start >= from && c.Start < to {
+			counts[int(c.A)*t.N+int(c.B)]++
+		}
+	}
+	w := to - from
+	for a := 0; a < t.N; a++ {
+		for b := a + 1; b < t.N; b++ {
+			k := counts[a*t.N+b]
+			if k > 0 {
+				m.Set(trace.NodeID(a), trace.NodeID(b), float64(k)/w)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Estimator accumulates contact observations online and converts them to
+// rates over the observed window, exactly as a node running the protocol
+// would (contacts counted over elapsed time). A single Estimator models
+// the network-wide view that nodes converge to by transitively exchanging
+// contact histories on every contact — the standard assumption of this
+// paper family.
+type Estimator struct {
+	n      int
+	start  float64
+	counts []int
+}
+
+// NewEstimator returns an estimator for n nodes observing from startTime.
+func NewEstimator(n int, startTime float64) *Estimator {
+	if n <= 0 {
+		panic(fmt.Sprintf("centrality: non-positive node count %d", n))
+	}
+	return &Estimator{n: n, start: startTime, counts: make([]int, n*n)}
+}
+
+// Observe records one contact between a and b. The contact time is not
+// stored; rates derive from counts over the window.
+func (e *Estimator) Observe(a, b trace.NodeID) {
+	e.counts[int(a)*e.n+int(b)]++
+	e.counts[int(b)*e.n+int(a)]++
+}
+
+// Counts returns a copy of the pairwise contact-count matrix, for
+// windowed estimation via RatesBetween.
+func (e *Estimator) Counts() []int {
+	out := make([]int, len(e.counts))
+	copy(out, e.counts)
+	return out
+}
+
+// RatesBetween computes the rate matrix from the growth between two count
+// snapshots (as returned by Counts) over an observation window — the
+// recent-history estimate used by periodic hierarchy rebuilds, which must
+// track drift rather than average over all regimes ever seen.
+func RatesBetween(before, after []int, n int, window float64) (*RateMatrix, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("centrality: non-positive window %v", window)
+	}
+	if len(before) != n*n || len(after) != n*n {
+		return nil, fmt.Errorf("centrality: snapshot size mismatch (%d, %d, n=%d)", len(before), len(after), n)
+	}
+	m := NewRateMatrix(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := after[a*n+b] - before[a*n+b]
+			if d < 0 {
+				return nil, fmt.Errorf("centrality: snapshot went backwards at pair (%d,%d)", a, b)
+			}
+			if d > 0 {
+				m.Set(trace.NodeID(a), trace.NodeID(b), float64(d)/window)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Rates snapshots the estimated rate matrix as of `now`.
+func (e *Estimator) Rates(now float64) (*RateMatrix, error) {
+	window := now - e.start
+	if window <= 0 {
+		return nil, fmt.Errorf("centrality: no observation time elapsed (now=%v, start=%v)", now, e.start)
+	}
+	m := NewRateMatrix(e.n)
+	for a := 0; a < e.n; a++ {
+		for b := a + 1; b < e.n; b++ {
+			if k := e.counts[a*e.n+b]; k > 0 {
+				m.Set(trace.NodeID(a), trace.NodeID(b), float64(k)/window)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Scores computes each node's cumulative-contact-probability centrality:
+// the expected fraction of other nodes it meets within the given time
+// window, C_i = (1/(N-1)) Σ_j (1 − e^{−λij·T}).
+func Scores(m *RateMatrix, window float64) []float64 {
+	scores := make([]float64, m.n)
+	if m.n == 1 {
+		return scores
+	}
+	for a := 0; a < m.n; a++ {
+		var sum float64
+		for b := 0; b < m.n; b++ {
+			if a == b {
+				continue
+			}
+			sum += stats.ExpCDF(m.Rate(trace.NodeID(a), trace.NodeID(b)), window)
+		}
+		scores[a] = sum / float64(m.n-1)
+	}
+	return scores
+}
+
+// Rank returns node IDs sorted by descending centrality score, ties broken
+// by ascending ID for determinism.
+func Rank(scores []float64) []trace.NodeID {
+	ids := make([]trace.NodeID, len(scores))
+	for i := range ids {
+		ids[i] = trace.NodeID(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		si, sj := scores[ids[i]], scores[ids[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// SelectCachingNodes picks k caching nodes (NCLs) by greedy marginal
+// coverage: at each step it adds the node that most increases the expected
+// number of nodes reachable within the window by at least one selected
+// node, P_cov(j) = 1 − Π_{s∈S} (1 − p_sj). The first pick is therefore the
+// highest-centrality node, and later picks favor nodes covering regions
+// (communities) the current set misses — which is why plain top-k by
+// centrality is not used.
+func SelectCachingNodes(m *RateMatrix, window float64, k int) ([]trace.NodeID, error) {
+	return SelectCachingNodesExcluding(m, window, k, nil)
+}
+
+// SelectCachingNodesExcluding is SelectCachingNodes with a set of nodes
+// barred from selection — the engine excludes data sources, which already
+// hold their own items and would waste a caching slot.
+func SelectCachingNodesExcluding(m *RateMatrix, window float64, k int, exclude map[trace.NodeID]bool) ([]trace.NodeID, error) {
+	if k <= 0 || k > m.n-len(exclude) {
+		return nil, fmt.Errorf("centrality: cannot select %d caching nodes out of %d (%d excluded)", k, m.n, len(exclude))
+	}
+	// notCovered[j] = Π over selected s of (1 - p_sj); 1 when nothing
+	// selected yet.
+	notCovered := make([]float64, m.n)
+	for j := range notCovered {
+		notCovered[j] = 1
+	}
+	selected := make([]trace.NodeID, 0, k)
+	inSet := make([]bool, m.n)
+
+	for len(selected) < k {
+		best := trace.NodeID(-1)
+		bestGain := -1.0
+		for cand := 0; cand < m.n; cand++ {
+			if inSet[cand] || exclude[trace.NodeID(cand)] {
+				continue
+			}
+			// Gain: candidate covers itself fully plus shrinks every other
+			// node's not-covered probability by (1 - p_cand,j).
+			gain := notCovered[cand]
+			for j := 0; j < m.n; j++ {
+				if j == cand || inSet[j] {
+					continue
+				}
+				p := stats.ExpCDF(m.Rate(trace.NodeID(cand), trace.NodeID(j)), window)
+				gain += notCovered[j] * p
+			}
+			if gain > bestGain {
+				bestGain = gain
+				best = trace.NodeID(cand)
+			}
+		}
+		selected = append(selected, best)
+		inSet[best] = true
+		notCovered[best] = 0
+		for j := 0; j < m.n; j++ {
+			if j == int(best) {
+				continue
+			}
+			p := stats.ExpCDF(m.Rate(best, trace.NodeID(j)), window)
+			notCovered[j] *= 1 - p
+		}
+	}
+	return selected, nil
+}
+
+// Placement selects which nodes become caching nodes.
+type Placement int
+
+const (
+	// PlaceGreedyCoverage is the paper family's NCL selection: greedy
+	// marginal contact coverage (default).
+	PlaceGreedyCoverage Placement = iota
+	// PlaceTopCentrality takes the top-k nodes by centrality score,
+	// ignoring coverage overlap.
+	PlaceTopCentrality
+	// PlaceRandom places caches uniformly at random — the placement
+	// floor.
+	PlaceRandom
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceGreedyCoverage:
+		return "greedy-coverage"
+	case PlaceTopCentrality:
+		return "top-centrality"
+	case PlaceRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Select picks k caching nodes under the given placement policy,
+// excluding the given nodes (data sources). seed drives PlaceRandom only.
+func Select(p Placement, m *RateMatrix, window float64, k int, exclude map[trace.NodeID]bool, seed int64) ([]trace.NodeID, error) {
+	if k <= 0 || k > m.n-len(exclude) {
+		return nil, fmt.Errorf("centrality: cannot select %d caching nodes out of %d (%d excluded)", k, m.n, len(exclude))
+	}
+	switch p {
+	case PlaceGreedyCoverage:
+		return SelectCachingNodesExcluding(m, window, k, exclude)
+	case PlaceTopCentrality:
+		ranked := Rank(Scores(m, window))
+		out := make([]trace.NodeID, 0, k)
+		for _, id := range ranked {
+			if exclude[id] {
+				continue
+			}
+			out = append(out, id)
+			if len(out) == k {
+				break
+			}
+		}
+		return out, nil
+	case PlaceRandom:
+		rng := stats.Derive(seed, "centrality/random-placement")
+		perm := rng.Perm(m.n)
+		out := make([]trace.NodeID, 0, k)
+		for _, idx := range perm {
+			id := trace.NodeID(idx)
+			if exclude[id] {
+				continue
+			}
+			out = append(out, id)
+			if len(out) == k {
+				break
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("centrality: unknown placement %d", int(p))
+	}
+}

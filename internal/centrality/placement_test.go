@@ -1,0 +1,132 @@
+package centrality
+
+import (
+	"testing"
+
+	"freshcache/internal/mobility"
+	"freshcache/internal/trace"
+)
+
+func placementMatrix(t *testing.T) *RateMatrix {
+	t.Helper()
+	g := &mobility.Community{
+		TraceName: "pl", N: 30, Duration: 15 * mobility.Day, Communities: 3,
+		IntraRate: 6.0 / mobility.Day, InterRate: 0.5 / mobility.Day, RateShape: 0.8,
+		InterPairFraction: 0.5, HubFraction: 0.1, HubBoost: 3, MeanContactDur: 120,
+	}
+	tr, err := g.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromTrace(tr, 0, tr.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlaceGreedyCoverage.String() != "greedy-coverage" ||
+		PlaceTopCentrality.String() != "top-centrality" ||
+		PlaceRandom.String() != "random" {
+		t.Fatal("placement names wrong")
+	}
+	if Placement(99).String() == "" {
+		t.Fatal("unknown placement has empty name")
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	m := placementMatrix(t)
+	exclude := map[trace.NodeID]bool{0: true, 1: true}
+	for _, p := range []Placement{PlaceGreedyCoverage, PlaceTopCentrality, PlaceRandom} {
+		sel, err := Select(p, m, 6*3600, 5, exclude, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(sel) != 5 {
+			t.Fatalf("%v: selected %d", p, len(sel))
+		}
+		seen := map[trace.NodeID]bool{}
+		for _, id := range sel {
+			if exclude[id] {
+				t.Fatalf("%v selected excluded node %d", p, id)
+			}
+			if seen[id] {
+				t.Fatalf("%v selected %d twice", p, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSelectGreedyMatchesLegacyAPI(t *testing.T) {
+	m := placementMatrix(t)
+	a, err := Select(PlaceGreedyCoverage, m, 6*3600, 6, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectCachingNodes(m, 6*3600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("greedy policy diverges from legacy API: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSelectTopCentralityOrdering(t *testing.T) {
+	m := placementMatrix(t)
+	sel, err := Select(PlaceTopCentrality, m, 6*3600, 4, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := Scores(m, 6*3600)
+	for i := 1; i < len(sel); i++ {
+		if scores[sel[i-1]] < scores[sel[i]] {
+			t.Fatalf("top-centrality not descending: %v", sel)
+		}
+	}
+}
+
+func TestSelectRandomSeedSensitivity(t *testing.T) {
+	m := placementMatrix(t)
+	a, err := Select(PlaceRandom, m, 6*3600, 5, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(PlaceRandom, m, 6*3600, 5, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random placement not deterministic for fixed seed")
+		}
+	}
+	c, err := Select(PlaceRandom, m, 6*3600, 5, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("random placement identical across seeds")
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	m := placementMatrix(t)
+	if _, err := Select(PlaceGreedyCoverage, m, 3600, 0, nil, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Select(Placement(99), m, 3600, 3, nil, 1); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"freshcache/internal/cache"
+)
+
+func newAdaptiveForTest(t *testing.T, pReq float64, maxRelays int) *refreshScheme {
+	t.Helper()
+	s, ok := NewAdaptive().(*refreshScheme)
+	if !ok {
+		t.Fatal("scheme type")
+	}
+	s.rt = &Runtime{PReq: pReq, MaxRelays: maxRelays}
+	s.relayBudget = make(map[cache.ItemID]int)
+	s.obsOnTime = make(map[cache.ItemID]int)
+	s.obsTotal = make(map[cache.ItemID]int)
+	return s
+}
+
+func testAdaptiveItem() cache.Item {
+	return cache.Item{ID: 0, Source: 0, RefreshInterval: 100, FreshnessWindow: 100, Lifetime: 200, Size: 1}
+}
+
+func TestAdaptiveSchemeRegistered(t *testing.T) {
+	s, err := SchemeByName("adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "adaptive" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestAdaptiveDefaultsToConfiguredBound(t *testing.T) {
+	s := newAdaptiveForTest(t, 0.9, 5)
+	if got := s.relayBound(0); got != 5 {
+		t.Fatalf("initial bound = %d, want 5", got)
+	}
+}
+
+func TestAdaptiveRaisesOnMisses(t *testing.T) {
+	s := newAdaptiveForTest(t, 0.9, 5)
+	it := testAdaptiveItem()
+	// 4 deliveries, only 1 on time: ratio 0.25 < 0.9 → raise.
+	s.observeDelivery(0, 0, 100, 50)  // on time
+	s.observeDelivery(0, 0, 100, 300) // late
+	s.observeDelivery(0, 0, 100, 400) // late
+	s.observeDelivery(0, 0, 100, 500) // late
+	s.adjustBudget(it)
+	if got := s.relayBound(0); got != 6 {
+		t.Fatalf("bound after misses = %d, want 6", got)
+	}
+	// Counters reset after adjustment.
+	if s.obsTotal[0] != 0 || s.obsOnTime[0] != 0 {
+		t.Fatal("observation counters not reset")
+	}
+}
+
+func TestAdaptiveLowersWhenComfortable(t *testing.T) {
+	s := newAdaptiveForTest(t, 0.8, 5)
+	it := testAdaptiveItem()
+	for i := 0; i < 5; i++ {
+		s.observeDelivery(0, 0, 100, 10) // all on time: ratio 1 > 0.85
+	}
+	s.adjustBudget(it)
+	if got := s.relayBound(0); got != 4 {
+		t.Fatalf("bound after comfortable period = %d, want 4", got)
+	}
+}
+
+func TestAdaptiveNeedsMinimumSample(t *testing.T) {
+	s := newAdaptiveForTest(t, 0.9, 5)
+	it := testAdaptiveItem()
+	s.observeDelivery(0, 0, 100, 500) // 1 late delivery: below min sample
+	s.adjustBudget(it)
+	if got := s.relayBound(0); got != 5 {
+		t.Fatalf("bound adjusted on thin data: %d", got)
+	}
+	if s.obsTotal[0] != 1 {
+		t.Fatal("thin sample discarded")
+	}
+}
+
+func TestAdaptiveBudgetBounds(t *testing.T) {
+	s := newAdaptiveForTest(t, 0.99, 2)
+	it := testAdaptiveItem()
+	// Persistent misses must cap at 4× the configured bound.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 4; i++ {
+			s.observeDelivery(0, 0, 100, 999)
+		}
+		s.adjustBudget(it)
+	}
+	if got := s.relayBound(0); got != 8 {
+		t.Fatalf("bound = %d, want cap 8 (4×2)", got)
+	}
+
+	// Persistent comfort must floor at 1.
+	s2 := newAdaptiveForTest(t, 0.5, 2)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 4; i++ {
+			s2.observeDelivery(0, 0, 100, 10)
+		}
+		s2.adjustBudget(it)
+	}
+	if got := s2.relayBound(0); got != 1 {
+		t.Fatalf("bound = %d, want floor 1", got)
+	}
+}
+
+func TestAdaptiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	fixed := runWith(t, NewHierarchical(), 43, nil)
+	adaptive := runWith(t, NewAdaptive(), 43, nil)
+	t.Logf("fixed: fresh=%.3f tx=%.1f; adaptive: fresh=%.3f tx=%.1f budget=%.1f",
+		fixed.FreshnessRatio, fixed.TxPerVersion,
+		adaptive.FreshnessRatio, adaptive.TxPerVersion, adaptive.SchemeStats["meanRelayBudget"])
+	// The controller must keep freshness in the same regime as the fixed
+	// bound while actually exercising the budget knob.
+	if adaptive.FreshnessRatio < 0.7*fixed.FreshnessRatio {
+		t.Fatalf("adaptive collapsed: %v vs %v", adaptive.FreshnessRatio, fixed.FreshnessRatio)
+	}
+	if _, ok := adaptive.SchemeStats["meanRelayBudget"]; !ok {
+		t.Fatal("adaptive budget stat missing")
+	}
+}
+
+func TestAdaptiveRespondsToLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	clean := runWith(t, NewAdaptive(), 47, nil)
+	lossy := runWith(t, NewAdaptive(), 47, func(c *Config) { c.DropProb = 0.4 })
+	t.Logf("clean budget=%.2f lossy budget=%.2f", clean.SchemeStats["meanRelayBudget"], lossy.SchemeStats["meanRelayBudget"])
+	// Under loss the controller should be pushing the budget up relative
+	// to the clean run.
+	if lossy.SchemeStats["meanRelayBudget"] <= clean.SchemeStats["meanRelayBudget"] {
+		t.Fatalf("controller did not raise budget under loss: %v vs %v",
+			lossy.SchemeStats["meanRelayBudget"], clean.SchemeStats["meanRelayBudget"])
+	}
+}

@@ -1,0 +1,636 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"freshcache/internal/cache"
+	"freshcache/internal/centrality"
+	"freshcache/internal/eventsim"
+	"freshcache/internal/metrics"
+	"freshcache/internal/network"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// Scheme is a cache-freshness maintenance protocol under evaluation.
+// Engine calls Init once at the end of warmup (when contact rates and the
+// caching-node set exist), OnGenerate whenever a source produces a new
+// version, and OnContact for every contact of the measurement phase.
+type Scheme interface {
+	Name() string
+	Init(rt *Runtime) error
+	OnGenerate(it cache.Item, version int, now float64)
+	OnContact(c *network.Contact)
+}
+
+// StatsReporter is optionally implemented by schemes that expose internal
+// statistics (e.g. the replication planner's analytical probabilities).
+type StatsReporter interface {
+	SchemeStats() map[string]float64
+}
+
+// Rebuilder is optionally implemented by schemes that can adapt their
+// structures (e.g. the refresh hierarchy) to updated contact-rate
+// estimates mid-run; the engine invokes it every Config.RebuildInterval.
+type Rebuilder interface {
+	Rebuild(rt *Runtime) error
+}
+
+// Runtime is the environment the engine hands to a scheme at Init: the
+// converged contact-rate knowledge, the caching-node set, and the cache
+// delivery path (which is also where delivery metrics are recorded).
+type Runtime struct {
+	N            int
+	Catalog      *cache.Catalog
+	Rates        *centrality.RateMatrix
+	CachingNodes []trace.NodeID
+	Epoch        float64 // measurement-phase start
+	Horizon      float64 // simulation end
+	PReq         float64 // required refresh probability
+	MaxFanout    int     // hierarchy fan-out bound
+	MaxRelays    int     // replication relay bound per destination
+	// RelayBufferCap bounds copies parked per relay node (0 = unbounded).
+	RelayBufferCap int
+	// Seed lets schemes derive their own deterministic randomness.
+	Seed int64
+
+	eng       *Engine
+	isCaching map[trace.NodeID]bool
+}
+
+// IsCachingNode reports whether the node is in the caching set.
+func (rt *Runtime) IsCachingNode(n trace.NodeID) bool { return rt.isCaching[n] }
+
+// RatesFor returns the contact-rate knowledge available to the given node
+// right now. Under KnowledgeOracle (default) this is the converged
+// warmup-phase estimate shared by everyone; under KnowledgeDistributed it
+// is the node's own local view, built from its contacts and transitive
+// gossip — stale and partial exactly as a real deployment's would be.
+func (rt *Runtime) RatesFor(node trace.NodeID) centrality.RateView {
+	if rt.eng.distEst == nil {
+		return rt.Rates
+	}
+	v, err := rt.eng.distEst.View(node, rt.eng.sim.Now())
+	if err != nil {
+		// Before any observation time has elapsed there is nothing to
+		// know; an empty matrix is the honest answer.
+		return centrality.NewRateMatrix(rt.N)
+	}
+	return v
+}
+
+// CachedVersion returns the version of the item cached at the node, or
+// (-1, false) when the node caches no copy.
+func (rt *Runtime) CachedVersion(node trace.NodeID, item cache.ItemID) (int, bool) {
+	c, ok := rt.CachedCopy(node, item)
+	if !ok {
+		return -1, false
+	}
+	return c.Version, true
+}
+
+// CachedCopy returns the copy of the item cached at the node, if any.
+func (rt *Runtime) CachedCopy(node trace.NodeID, item cache.ItemID) (cache.Copy, bool) {
+	st, ok := rt.eng.stores[node]
+	if !ok {
+		return cache.Copy{}, false
+	}
+	return st.Peek(item)
+}
+
+// DeliverToCache stores the copy at the caching node, recording the
+// delivery metric when the store accepts it (i.e. the copy is newer than
+// what the node had). It returns false for non-caching nodes and for
+// stale copies. Transmission accounting is the caller's job (Contact.Send)
+// — delivery and transfer cost are deliberately separate so the Oracle
+// bound can deliver for free.
+func (rt *Runtime) DeliverToCache(node trace.NodeID, c cache.Copy, now float64) bool {
+	return rt.eng.deliverToCache(node, c, now)
+}
+
+// AllNodes returns the node IDs 0..N-1; the candidate set for relay
+// selection.
+func (rt *Runtime) AllNodes() []trace.NodeID {
+	out := make([]trace.NodeID, rt.N)
+	for i := range out {
+		out[i] = trace.NodeID(i)
+	}
+	return out
+}
+
+// KnowledgeMode selects how much contact-rate knowledge protocols get.
+type KnowledgeMode int
+
+const (
+	// KnowledgeOracle gives every node the converged warmup-phase rate
+	// estimate — the standard assumption of this paper family ("nodes
+	// exchange contact histories and converge").
+	KnowledgeOracle KnowledgeMode = iota
+	// KnowledgeDistributed gives each node only its own local view:
+	// direct observations plus snapshots gossiped transitively on
+	// contacts. Used to measure the cost of imperfect knowledge.
+	KnowledgeDistributed
+)
+
+// Config configures one simulation run.
+type Config struct {
+	Trace   *trace.Trace
+	Catalog *cache.Catalog
+	Scheme  Scheme
+
+	// NumCachingNodes K: how many caching nodes (NCLs) to select.
+	NumCachingNodes int
+	// WarmupFraction of the trace used for rate estimation before the
+	// measurement phase starts. Default 0.3.
+	WarmupFraction float64
+	// PReq is the required probability that a new version reaches a
+	// caching node within the item's freshness window. Default 0.9.
+	PReq float64
+	// MaxFanout bounds refresh-tree children per node. Default 3.
+	MaxFanout int
+	// MaxRelays bounds replication relays per destination. Default 5.
+	MaxRelays int
+	// CacheCapacity is the per-node store capacity in size units
+	// (0 = unlimited).
+	CacheCapacity int
+	// CachePolicy selects the store eviction policy (default LRU).
+	CachePolicy cache.Policy
+	// Workload configures queries; a zero QueryRate disables them.
+	Workload cache.WorkloadConfig
+	// QueryRelays enables two-way query delegation: each pending query is
+	// handed to up to this many relays, which fetch the data from
+	// providers they meet and carry the response back (0 = off; queries
+	// are then served only on direct requester–provider contact).
+	QueryRelays int
+	// Seed drives all randomness (workload; the trace carries its own).
+	Seed int64
+	// SampleInterval between freshness-ratio samples. Default: measurement
+	// phase / 240.
+	SampleInterval float64
+	// MsgTime is the per-message transfer time for the contact budget
+	// (0 = infinite bandwidth).
+	MsgTime float64
+	// CentralityWindow for caching-node selection. Default 6h.
+	CentralityWindow float64
+	// Knowledge selects oracle (default) or distributed rate knowledge
+	// for the protocols. Caching-node selection always uses the converged
+	// estimate: the study target is the refresh protocol, not placement.
+	Knowledge KnowledgeMode
+	// DropProb injects independent message loss into every transmission.
+	DropProb float64
+	// Churn turns nodes off and on (suppressing their contacts).
+	Churn network.ChurnConfig
+	// RelayBufferCap bounds how many distinct copies a relay node parks
+	// at once (0 = unbounded); overfull buffers evict the copy closest to
+	// expiry.
+	RelayBufferCap int
+	// RebuildInterval re-estimates contact rates and rebuilds the
+	// scheme's structures (refresh trees) every this many simulated
+	// seconds after warmup (0 = never). Requires a scheme implementing
+	// Rebuilder; ignored otherwise. Useful when mobility drifts.
+	RebuildInterval float64
+	// Placement selects the caching-node placement policy (default:
+	// greedy contact coverage, the paper family's NCL selection).
+	Placement centrality.Placement
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.WarmupFraction == 0 {
+		out.WarmupFraction = 0.3
+	}
+	if out.PReq == 0 {
+		out.PReq = 0.9
+	}
+	if out.MaxFanout == 0 {
+		out.MaxFanout = 3
+	}
+	if out.MaxRelays == 0 {
+		out.MaxRelays = 5
+	}
+	if out.CentralityWindow == 0 {
+		out.CentralityWindow = 6 * 3600
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Trace == nil:
+		return errors.New("core: nil trace")
+	case c.Catalog == nil:
+		return errors.New("core: nil catalog")
+	case c.Scheme == nil:
+		return errors.New("core: nil scheme")
+	case c.NumCachingNodes <= 0:
+		return fmt.Errorf("core: non-positive caching node count %d", c.NumCachingNodes)
+	case c.NumCachingNodes >= c.Trace.N:
+		return fmt.Errorf("core: %d caching nodes for %d-node trace", c.NumCachingNodes, c.Trace.N)
+	case c.WarmupFraction <= 0 || c.WarmupFraction >= 1:
+		return fmt.Errorf("core: warmup fraction %v outside (0,1)", c.WarmupFraction)
+	case c.PReq <= 0 || c.PReq > 1:
+		return fmt.Errorf("core: pReq %v outside (0,1]", c.PReq)
+	case c.MaxFanout < 0 || c.MaxRelays < 0:
+		return fmt.Errorf("core: negative fanout %d or relays %d", c.MaxFanout, c.MaxRelays)
+	case c.SampleInterval < 0:
+		return fmt.Errorf("core: negative sample interval %v", c.SampleInterval)
+	case c.RelayBufferCap < 0:
+		return fmt.Errorf("core: negative relay buffer cap %d", c.RelayBufferCap)
+	case c.RebuildInterval < 0:
+		return fmt.Errorf("core: negative rebuild interval %v", c.RebuildInterval)
+	case c.QueryRelays < 0:
+		return fmt.Errorf("core: negative query relay count %d", c.QueryRelays)
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	for _, it := range c.Catalog.Items() {
+		if int(it.Source) >= c.Trace.N {
+			return fmt.Errorf("core: item %d source %d outside trace", it.ID, it.Source)
+		}
+	}
+	return nil
+}
+
+// Engine runs one scheme over one trace and aggregates metrics.
+type Engine struct {
+	cfg       Config
+	sim       *eventsim.Simulator
+	net       *network.Net
+	collector *metrics.Collector
+	book      *cache.QueryBook
+
+	epoch   float64
+	horizon float64
+
+	rt         *Runtime
+	distEst    *centrality.DistributedEstimator // non-nil under KnowledgeDistributed
+	delegation *delegationState                 // non-nil when QueryRelays > 0
+	stores     map[trace.NodeID]*cache.Store
+	sources    map[trace.NodeID][]cache.ItemID // node -> items it sources
+	queries    []*cache.Query
+
+	initErr error // deferred error from the epoch event
+}
+
+// NewEngine validates the configuration and prepares a run.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		sim:       eventsim.New(),
+		collector: metrics.New(),
+		book:      cache.NewQueryBook(cfg.Workload.Timeout),
+		stores:    make(map[trace.NodeID]*cache.Store),
+		sources:   make(map[trace.NodeID][]cache.ItemID),
+	}
+	e.epoch = cfg.Trace.Duration * cfg.WarmupFraction
+	e.horizon = cfg.Trace.Duration
+	if cfg.QueryRelays > 0 {
+		e.delegation = newDelegationState(cfg.QueryRelays)
+	}
+	for _, it := range cfg.Catalog.Items() {
+		e.sources[it.Source] = append(e.sources[it.Source], it.ID)
+	}
+	var err error
+	e.net, err = network.New(e.sim, cfg.Trace, network.Config{
+		MsgTime:  cfg.MsgTime,
+		DropProb: cfg.DropProb,
+		Churn:    cfg.Churn,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Run executes the simulation and returns the aggregated result.
+func (e *Engine) Run() (metrics.Result, error) {
+	start := time.Now()
+
+	estimator := centrality.NewEstimator(e.cfg.Trace.N, 0)
+	if e.cfg.Knowledge == KnowledgeDistributed {
+		e.distEst = centrality.NewDistributedEstimator(e.cfg.Trace.N, 0)
+	}
+	e.net.Attach(network.HandlerFunc(func(c *network.Contact) {
+		if e.distEst != nil {
+			// Local views keep learning for the whole run, like real nodes.
+			e.distEst.Observe(c.A, c.B, c.Time)
+		}
+		// The converged estimator also keeps learning, so periodic
+		// rebuilds see post-warmup contacts (and drift).
+		estimator.Observe(c.A, c.B)
+		if c.Time < e.epoch {
+			return
+		}
+		if e.rt == nil || e.initErr != nil {
+			return
+		}
+		e.cfg.Scheme.OnContact(c)
+		e.resolveQueries(c)
+		e.processDelegation(c)
+	}))
+	if err := e.net.Schedule(); err != nil {
+		return metrics.Result{}, err
+	}
+
+	// The epoch event finalizes rates, selects caching nodes, initializes
+	// the scheme and schedules the measurement-phase machinery.
+	if _, err := e.sim.ScheduleAt(e.epoch, func(now float64) {
+		if err := e.startMeasurement(estimator, now); err != nil {
+			e.initErr = err
+			e.sim.Stop()
+		}
+	}); err != nil {
+		return metrics.Result{}, err
+	}
+
+	if _, err := e.sim.Run(e.horizon); err != nil {
+		return metrics.Result{}, err
+	}
+	if e.initErr != nil {
+		return metrics.Result{}, e.initErr
+	}
+
+	txByKind := make(map[string]int)
+	refreshTx := 0
+	for _, kind := range e.net.TransmissionKinds() {
+		n := e.net.Transmissions(kind)
+		txByKind[kind] = n
+		if kind != "data" && kind != "query" { // access-path traffic is not refresh overhead
+			refreshTx += n
+		}
+	}
+	res := metrics.Aggregate(e.collector, e.book.All(), txByKind, refreshTx)
+	if refreshTx > 0 {
+		sourceTx := 0
+		loads := make([]float64, e.cfg.Trace.N)
+		maxLoad := 0
+		for n := 0; n < e.cfg.Trace.N; n++ {
+			sent := e.net.SentBy(trace.NodeID(n))
+			loads[n] = float64(sent)
+			if sent > maxLoad {
+				maxLoad = sent
+			}
+		}
+		for s := range e.sources {
+			sourceTx += e.net.SentBy(s)
+		}
+		res.SourceTxShare = float64(sourceTx) / float64(refreshTx)
+		res.MaxNodeTxShare = float64(maxLoad) / float64(refreshTx)
+		res.LoadGini = stats.Gini(loads)
+	}
+	res.Scheme = e.cfg.Scheme.Name()
+	res.Trace = e.cfg.Trace.Name
+	res.Seed = e.cfg.Seed
+	res.SimulatedEventCount = e.sim.Processed()
+	res.WallClockSeconds = time.Since(start).Seconds()
+	if sr, ok := e.cfg.Scheme.(StatsReporter); ok {
+		// Scheme stats ride along for analysis-validation experiments.
+		res.SchemeStats = sr.SchemeStats()
+	}
+	return res, nil
+}
+
+// Collector exposes the raw metric log (delay CDFs etc.) after Run.
+func (e *Engine) Collector() *metrics.Collector { return e.collector }
+
+// Runtime exposes the runtime after Run (nil if warmup never completed);
+// used by experiments that inspect the hierarchy.
+func (e *Engine) Runtime() *Runtime { return e.rt }
+
+func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error {
+	rates, err := est.Rates(now)
+	if err != nil {
+		return fmt.Errorf("core: rate estimation: %w", err)
+	}
+	exclude := make(map[trace.NodeID]bool, len(e.sources))
+	for s := range e.sources {
+		exclude[s] = true
+	}
+	caching, err := centrality.Select(e.cfg.Placement, rates, e.cfg.CentralityWindow, e.cfg.NumCachingNodes, exclude, e.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("core: caching node selection: %w", err)
+	}
+	for _, cn := range caching {
+		st, err := cache.NewStoreWithPolicy(e.cfg.Catalog, e.cfg.CacheCapacity, e.cfg.CachePolicy)
+		if err != nil {
+			return err
+		}
+		e.stores[cn] = st
+	}
+
+	e.rt = &Runtime{
+		N:              e.cfg.Trace.N,
+		Catalog:        e.cfg.Catalog,
+		Rates:          rates,
+		CachingNodes:   caching,
+		Epoch:          now,
+		Horizon:        e.horizon,
+		PReq:           e.cfg.PReq,
+		MaxFanout:      e.cfg.MaxFanout,
+		MaxRelays:      e.cfg.MaxRelays,
+		RelayBufferCap: e.cfg.RelayBufferCap,
+		Seed:           e.cfg.Seed,
+		eng:            e,
+		isCaching:      make(map[trace.NodeID]bool, len(caching)),
+	}
+	for _, cn := range caching {
+		e.rt.isCaching[cn] = true
+	}
+	if err := e.cfg.Scheme.Init(e.rt); err != nil {
+		return fmt.Errorf("core: scheme init: %w", err)
+	}
+
+	if e.cfg.RebuildInterval > 0 {
+		if rb, ok := e.cfg.Scheme.(Rebuilder); ok {
+			// Rebuilds estimate rates over the window since the previous
+			// (re)build, so they track drift instead of averaging over
+			// every regime ever seen.
+			lastCounts := est.Counts()
+			lastTime := now
+			for t := now + e.cfg.RebuildInterval; t < e.horizon; t += e.cfg.RebuildInterval {
+				if _, err := e.sim.ScheduleAt(t, func(tnow float64) {
+					cur := est.Counts()
+					fresh, err := centrality.RatesBetween(lastCounts, cur, e.cfg.Trace.N, tnow-lastTime)
+					if err != nil {
+						return
+					}
+					lastCounts, lastTime = cur, tnow
+					e.rt.Rates = fresh
+					if err := rb.Rebuild(e.rt); err != nil && e.initErr == nil {
+						e.initErr = err
+						e.sim.Stop()
+					}
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Version generation events.
+	for _, it := range e.cfg.Catalog.Items() {
+		it := it
+		for v := 0; ; v++ {
+			at := cache.VersionTime(it, e.rt.Epoch, v)
+			if at >= e.horizon {
+				break
+			}
+			v := v
+			if _, err := e.sim.ScheduleAt(at, func(tnow float64) {
+				e.collector.RecordGeneration()
+				e.cfg.Scheme.OnGenerate(it, v, tnow)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Freshness sampling.
+	interval := e.cfg.SampleInterval
+	if interval == 0 {
+		interval = (e.horizon - e.rt.Epoch) / 240
+	}
+	for t := e.rt.Epoch + interval; t < e.horizon; t += interval {
+		if _, err := e.sim.ScheduleAt(t, func(tnow float64) {
+			e.collector.RecordSample(tnow, e.freshnessRatio(tnow))
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Query workload.
+	if e.cfg.Workload.QueryRate > 0 {
+		qs, err := cache.GenerateQueries(e.cfg.Workload, e.cfg.Catalog, e.cfg.Trace.N, e.rt.Epoch, e.horizon, e.cfg.Seed)
+		if err != nil {
+			return err
+		}
+		e.queries = qs
+		for _, q := range qs {
+			q := q
+			if _, err := e.sim.ScheduleAt(q.IssuedAt, func(tnow float64) {
+				e.issueQuery(q, tnow)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) deliverToCache(node trace.NodeID, c cache.Copy, now float64) bool {
+	st, ok := e.stores[node]
+	if !ok {
+		return false
+	}
+	it, err := e.cfg.Catalog.Item(c.Item)
+	if err != nil {
+		return false
+	}
+	accepted, err := st.Put(c, now)
+	if err != nil || !accepted {
+		return false
+	}
+	e.collector.RecordDelivery(metrics.Delivery{
+		Item:        c.Item,
+		Version:     c.Version,
+		Node:        node,
+		GeneratedAt: c.GeneratedAt,
+		DeliveredAt: now,
+		OnTime:      now-c.GeneratedAt <= it.FreshnessWindow,
+	})
+	return true
+}
+
+// freshnessRatio is the fraction of (caching node, item) pairs holding the
+// newest version at time now.
+func (e *Engine) freshnessRatio(now float64) float64 {
+	total := 0
+	fresh := 0
+	for _, cn := range e.rt.CachingNodes {
+		st := e.stores[cn]
+		for _, it := range e.cfg.Catalog.Items() {
+			total++
+			c, ok := st.Peek(it.ID)
+			if !ok {
+				continue
+			}
+			if c.Version >= cache.CurrentVersion(it, e.rt.Epoch, now) {
+				fresh++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fresh) / float64(total)
+}
+
+// issueQuery registers a query, resolving it locally when the requester
+// itself holds a copy (it is a caching node or the item's source).
+func (e *Engine) issueQuery(q *cache.Query, now float64) {
+	it, err := e.cfg.Catalog.Item(q.Item)
+	if err != nil {
+		return
+	}
+	e.book.Issue(q)
+	if q.Requester == it.Source {
+		v := cache.CurrentVersion(it, e.rt.Epoch, now)
+		if v >= 0 {
+			_ = e.book.Resolve(q, it, cache.Copy{
+				Item: it.ID, Version: v,
+				GeneratedAt: cache.VersionTime(it, e.rt.Epoch, v),
+				ReceivedAt:  now,
+			}, e.rt.Epoch, now)
+		}
+		return
+	}
+	if st, ok := e.stores[q.Requester]; ok {
+		if c, ok := st.Peek(q.Item); ok && !c.Expired(it, now) {
+			_ = e.book.Resolve(q, it, c, e.rt.Epoch, now)
+		}
+	}
+}
+
+// resolveQueries serves pending queries across a live contact: each
+// endpoint's pending queries are answered when the other endpoint holds a
+// copy (caching node) or is the item's source. Each answer costs one
+// "data" transmission from the contact budget.
+func (e *Engine) resolveQueries(c *network.Contact) {
+	e.resolveFor(c, c.A, c.B)
+	e.resolveFor(c, c.B, c.A)
+}
+
+func (e *Engine) resolveFor(c *network.Contact, requester, provider trace.NodeID) {
+	pending := e.book.Pending(requester, c.Time)
+	if len(pending) == 0 {
+		return
+	}
+	// Copy: Resolve mutates the pending list.
+	qs := make([]*cache.Query, len(pending))
+	copy(qs, pending)
+	for _, q := range qs {
+		it, err := e.cfg.Catalog.Item(q.Item)
+		if err != nil {
+			continue
+		}
+		// Expired data is invalid and is never provided; the query stays
+		// pending for a provider with a live copy (providerCopy enforces
+		// this).
+		cp, have := e.providerCopy(provider, q.Item, c.Time)
+		if !have {
+			continue
+		}
+		if !c.Send(provider, requester, "data") {
+			return // contact budget exhausted
+		}
+		_ = e.book.Resolve(q, it, cp, e.rt.Epoch, c.Time)
+	}
+}

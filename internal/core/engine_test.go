@@ -1,0 +1,318 @@
+package core
+
+import (
+	"testing"
+
+	"freshcache/internal/cache"
+	"freshcache/internal/metrics"
+	"freshcache/internal/mobility"
+	"freshcache/internal/trace"
+)
+
+// testScenarioTrace builds a mid-size community trace shared by the
+// end-to-end tests.
+func testScenarioTrace(t *testing.T, seed int64) *trace.Trace {
+	t.Helper()
+	g := &mobility.Community{
+		TraceName: "e2e", N: 40, Duration: 12 * mobility.Day, Communities: 4,
+		IntraRate: 8.0 / mobility.Day, InterRate: 1.0 / mobility.Day, RateShape: 0.8,
+		InterPairFraction: 0.7, HubFraction: 0.1, HubBoost: 3, MeanContactDur: 180,
+	}
+	tr, err := g.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testScenarioCatalog(t *testing.T, refresh float64) *cache.Catalog {
+	t.Helper()
+	items := []cache.Item{
+		{ID: 0, Source: 0, RefreshInterval: refresh, FreshnessWindow: refresh, Lifetime: 2 * refresh, Size: 1},
+		{ID: 1, Source: 1, RefreshInterval: refresh, FreshnessWindow: refresh, Lifetime: 2 * refresh, Size: 1},
+		{ID: 2, Source: 2, RefreshInterval: refresh, FreshnessWindow: refresh, Lifetime: 2 * refresh, Size: 1},
+	}
+	cat, err := cache.NewCatalog(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func runScheme(t *testing.T, s Scheme, seed int64) metrics.Result {
+	t.Helper()
+	eng, err := NewEngine(Config{
+		Trace:           testScenarioTrace(t, seed),
+		Catalog:         testScenarioCatalog(t, 4*mobility.Hour),
+		Scheme:          s,
+		NumCachingNodes: 6,
+		Workload:        cache.WorkloadConfig{QueryRate: 1.0 / (2 * mobility.Hour), ZipfExponent: 1.0},
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSchemeOrderingOnFreshness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	results := map[string]metrics.Result{}
+	for _, spec := range Schemes() {
+		results[spec.Name] = runScheme(t, spec.New(), 77)
+	}
+	for name, r := range results {
+		t.Logf("%s: %s", name, r.String())
+	}
+
+	or, ep, hi, hn, dr, di, no :=
+		results["oracle"], results["epidemic"], results["hierarchical"],
+		results["hierarchical-norep"], results["direct-rep"], results["direct"], results["norefresh"]
+
+	// The abstract's headline: hierarchical significantly improves
+	// freshness over source-only refreshing.
+	if hi.FreshnessRatio <= di.FreshnessRatio*1.2 {
+		t.Errorf("hierarchical freshness %v not significantly above direct %v", hi.FreshnessRatio, di.FreshnessRatio)
+	}
+	// Ceilings and floors.
+	if or.FreshnessRatio < 0.95 {
+		t.Errorf("oracle freshness %v, want ~1", or.FreshnessRatio)
+	}
+	if ep.FreshnessRatio < hi.FreshnessRatio-0.05 {
+		t.Errorf("epidemic %v below hierarchical %v", ep.FreshnessRatio, hi.FreshnessRatio)
+	}
+	if no.FreshnessRatio > di.FreshnessRatio {
+		t.Errorf("norefresh %v above direct %v", no.FreshnessRatio, di.FreshnessRatio)
+	}
+	if no.FreshnessRatio > 0.2 {
+		t.Errorf("norefresh freshness %v; should decay to ~0", no.FreshnessRatio)
+	}
+	// Ablations. Replication buys freshness given the hierarchy:
+	if hi.FreshnessRatio < hn.FreshnessRatio-0.02 {
+		t.Errorf("replication hurt freshness: %v vs %v", hi.FreshnessRatio, hn.FreshnessRatio)
+	}
+	// The hierarchy trades at most a small freshness gap vs source-central
+	// replication for a large drop in source load (its design point):
+	if hi.FreshnessRatio < dr.FreshnessRatio-0.08 {
+		t.Errorf("hierarchy lost too much freshness: %v vs direct-rep %v", hi.FreshnessRatio, dr.FreshnessRatio)
+	}
+	if di.SourceTxShare < 0.99 {
+		t.Errorf("direct source share %v, want 1 (only sources send)", di.SourceTxShare)
+	}
+	if dr.SourceTxShare < 0.6 {
+		t.Errorf("direct-rep source share %v, want source-dominated", dr.SourceTxShare)
+	}
+	if hi.SourceTxShare > 0.6*dr.SourceTxShare {
+		t.Errorf("hierarchy did not distribute load: source share %v vs direct-rep %v", hi.SourceTxShare, dr.SourceTxShare)
+	}
+
+	// Overhead ordering: epidemic must dwarf hierarchical, which exceeds
+	// direct, and oracle is free.
+	if ep.TxPerVersion < 2.5*hi.TxPerVersion {
+		t.Errorf("epidemic overhead %v not well above hierarchical %v", ep.TxPerVersion, hi.TxPerVersion)
+	}
+	if hi.TxPerVersion <= di.TxPerVersion {
+		t.Errorf("hierarchical overhead %v not above direct %v", hi.TxPerVersion, di.TxPerVersion)
+	}
+	if or.TxPerVersion != 0 {
+		t.Errorf("oracle overhead %v, want 0", or.TxPerVersion)
+	}
+
+	// Query validity tracks freshness: hierarchical serves more queries
+	// with valid (unexpired) data than source-only refreshing, and faster.
+	// (FreshAnswers — freshness among *answered* queries — is not compared
+	// here: a scheme whose caches are empty leaves queries pending until
+	// they reach the always-fresh source, which inflates that ratio while
+	// degrading delay and coverage.)
+	if hi.ValidAccessRate <= di.ValidAccessRate {
+		t.Errorf("hierarchical valid-access rate %v not above direct %v", hi.ValidAccessRate, di.ValidAccessRate)
+	}
+	if hi.MeanAccessDelaySec >= di.MeanAccessDelaySec {
+		t.Errorf("hierarchical access delay %v not below direct %v", hi.MeanAccessDelaySec, di.MeanAccessDelaySec)
+	}
+	if hi.Answered == 0 || hi.AnsweredOK < 0.5 {
+		t.Errorf("hierarchical answered %v ratio %v; workload broken?", hi.Answered, hi.AnsweredOK)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	a := runScheme(t, NewHierarchical(), 5)
+	b := runScheme(t, NewHierarchical(), 5)
+	if a.FreshnessRatio != b.FreshnessRatio ||
+		a.Transmissions != b.Transmissions ||
+		a.Deliveries != b.Deliveries ||
+		a.Answered != b.Answered ||
+		a.MeanRefreshDelay != b.MeanRefreshDelay {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEngineSeedMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	a := runScheme(t, NewHierarchical(), 5)
+	b := runScheme(t, NewHierarchical(), 6)
+	if a.Transmissions == b.Transmissions && a.FreshnessRatio == b.FreshnessRatio && a.Answered == b.Answered {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	tr := testScenarioTrace(t, 1)
+	cat := testScenarioCatalog(t, mobility.Hour)
+	base := func() Config {
+		return Config{Trace: tr, Catalog: cat, Scheme: NewDirect(), NumCachingNodes: 4}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil trace", func(c *Config) { c.Trace = nil }},
+		{"nil catalog", func(c *Config) { c.Catalog = nil }},
+		{"nil scheme", func(c *Config) { c.Scheme = nil }},
+		{"zero caching nodes", func(c *Config) { c.NumCachingNodes = 0 }},
+		{"too many caching nodes", func(c *Config) { c.NumCachingNodes = 40 }},
+		{"bad warmup", func(c *Config) { c.WarmupFraction = 1.5 }},
+		{"bad preq", func(c *Config) { c.PReq = 2 }},
+		{"negative fanout", func(c *Config) { c.MaxFanout = -1 }},
+		{"negative sample interval", func(c *Config) { c.SampleInterval = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if _, err := NewEngine(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestEngineRejectsSourceOutsideTrace(t *testing.T) {
+	tr := testScenarioTrace(t, 1)
+	items := []cache.Item{{ID: 0, Source: 999, RefreshInterval: 3600, FreshnessWindow: 3600, Lifetime: 7200, Size: 1}}
+	cat, err := cache.NewCatalog(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(Config{Trace: tr, Catalog: cat, Scheme: NewDirect(), NumCachingNodes: 4}); err == nil {
+		t.Fatal("out-of-trace source accepted")
+	}
+}
+
+func TestCachingNodesExcludeSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	eng, err := NewEngine(Config{
+		Trace:           testScenarioTrace(t, 3),
+		Catalog:         testScenarioCatalog(t, 4*mobility.Hour),
+		Scheme:          NewDirect(),
+		NumCachingNodes: 6,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rt := eng.Runtime()
+	if rt == nil {
+		t.Fatal("runtime missing after run")
+	}
+	if len(rt.CachingNodes) != 6 {
+		t.Fatalf("caching nodes = %v", rt.CachingNodes)
+	}
+	for _, cn := range rt.CachingNodes {
+		if cn == 0 || cn == 1 || cn == 2 {
+			t.Fatalf("item source %d selected as caching node", cn)
+		}
+	}
+}
+
+func TestOnTimeDeliveryTracksRequirement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	eng, err := NewEngine(Config{
+		Trace:           testScenarioTrace(t, 11),
+		Catalog:         testScenarioCatalog(t, 6*mobility.Hour),
+		Scheme:          NewHierarchical(),
+		NumCachingNodes: 6,
+		PReq:            0.9,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Collector().FirstDeliveryOnTimeRatio()
+	// The analysis guarantees >= PReq for satisfiable plans under the
+	// exponential model; allow slack for unsatisfiable destinations and
+	// model mismatch (diurnal gaps), but it must be in the right regime.
+	if got < 0.6 {
+		t.Fatalf("first-delivery on-time ratio %v far below requirement 0.9 (stats: %v)", got, res.SchemeStats)
+	}
+	if res.SchemeStats["plansTotal"] == 0 {
+		t.Fatal("replication planner never ran")
+	}
+}
+
+func TestMsgBudgetReducesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	run := func(msgTime float64) metrics.Result {
+		eng, err := NewEngine(Config{
+			Trace:           testScenarioTrace(t, 21),
+			Catalog:         testScenarioCatalog(t, 4*mobility.Hour),
+			Scheme:          NewEpidemic(),
+			NumCachingNodes: 6,
+			MsgTime:         msgTime,
+			Seed:            21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unlimited := run(0)
+	// Absurdly slow messages: one per contact at best.
+	tight := run(10000)
+	if tight.Transmissions >= unlimited.Transmissions {
+		t.Fatalf("budget did not bite: %d vs %d", tight.Transmissions, unlimited.Transmissions)
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, spec := range Schemes() {
+		s, err := SchemeByName(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != spec.Name {
+			t.Fatalf("scheme %q reports name %q", spec.Name, s.Name())
+		}
+	}
+	if _, err := SchemeByName("bogus"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

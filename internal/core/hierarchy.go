@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"freshcache/internal/centrality"
+	"freshcache/internal/trace"
+)
+
+// Tree is the refresh hierarchy for one data item: the source at the root
+// and every caching node attached below it. Each node is responsible for
+// refreshing exactly its children — the paper's "each caching node is only
+// responsible for refreshing a specific set of caching nodes".
+type Tree struct {
+	Source trace.NodeID
+	// Parent maps each caching node to the node responsible for it (the
+	// source or another caching node).
+	Parent map[trace.NodeID]trace.NodeID
+	// Children maps each responsible node to the caching nodes it
+	// refreshes, in attachment order.
+	Children map[trace.NodeID][]trace.NodeID
+	// Depth is the hop distance from the source (source = 0).
+	Depth map[trace.NodeID]int
+	// ExpectedDelay is the expected source-to-node refresh delay along the
+	// tree path: the sum of per-hop expected inter-contact times 1/λ.
+	// +Inf when some hop pair never meets.
+	ExpectedDelay map[trace.NodeID]float64
+}
+
+// MaxDepth returns the deepest caching node's depth (0 for an empty tree).
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for _, d := range t.Depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ResponsibleFor returns the children of the node (nil when it refreshes
+// nobody).
+func (t *Tree) ResponsibleFor(n trace.NodeID) []trace.NodeID { return t.Children[n] }
+
+// BuildTree constructs the refresh hierarchy greedily: starting from the
+// source, it repeatedly attaches the unattached caching node that can be
+// reached with the smallest expected refresh delay through any attached
+// node with spare fan-out, i.e. it minimizes
+//
+//	delay(parent) + 1/λ(parent, child)
+//
+// over all (parent, child) pairs. This keeps well-connected caching nodes
+// near the source (they become responsible for others) and pushes poorly
+// connected ones to the leaves, bounding every node's expected refresh
+// delay given the fan-out limit. Pairs that never meet contribute +Inf and
+// are chosen only when no finite attachment exists (the node is then
+// parented to the source as a fallback so every caching node has exactly
+// one responsible refresher).
+//
+// maxFanout bounds children per node (0 = unbounded).
+func BuildTree(rates centrality.RateView, source trace.NodeID, cachingNodes []trace.NodeID, maxFanout int) (*Tree, error) {
+	if maxFanout < 0 {
+		return nil, fmt.Errorf("core: negative fanout %d", maxFanout)
+	}
+	t := &Tree{
+		Source:        source,
+		Parent:        make(map[trace.NodeID]trace.NodeID, len(cachingNodes)),
+		Children:      make(map[trace.NodeID][]trace.NodeID),
+		Depth:         map[trace.NodeID]int{source: 0},
+		ExpectedDelay: map[trace.NodeID]float64{source: 0},
+	}
+
+	unattached := make(map[trace.NodeID]bool, len(cachingNodes))
+	for _, c := range cachingNodes {
+		if c == source {
+			return nil, fmt.Errorf("core: source %d cannot be its own caching node", source)
+		}
+		if unattached[c] {
+			return nil, fmt.Errorf("core: duplicate caching node %d", c)
+		}
+		unattached[c] = true
+	}
+	attached := []trace.NodeID{source}
+
+	hopDelay := func(parent, child trace.NodeID) float64 {
+		r := rates.Rate(parent, child)
+		if r <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / r
+	}
+
+	for len(unattached) > 0 {
+		bestChild := trace.NodeID(-1)
+		bestParent := trace.NodeID(-1)
+		bestCost := math.Inf(1)
+		found := false
+
+		// Deterministic iteration: children in ascending ID.
+		children := make([]trace.NodeID, 0, len(unattached))
+		for c := range unattached {
+			children = append(children, c)
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+
+		for _, c := range children {
+			for _, p := range attached {
+				if maxFanout > 0 && len(t.Children[p]) >= maxFanout {
+					continue
+				}
+				cost := t.ExpectedDelay[p] + hopDelay(p, c)
+				if !found || cost < bestCost {
+					bestChild, bestParent, bestCost, found = c, p, cost, true
+				}
+			}
+		}
+		if !found {
+			// Every attached node is at fan-out capacity; fall back to the
+			// source (unbounded in this degenerate case keeps the tree
+			// total).
+			children := make([]trace.NodeID, 0, len(unattached))
+			for c := range unattached {
+				children = append(children, c)
+			}
+			sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+			bestChild, bestParent = children[0], source
+			bestCost = t.ExpectedDelay[source] + hopDelay(source, bestChild)
+		}
+
+		t.Parent[bestChild] = bestParent
+		t.Children[bestParent] = append(t.Children[bestParent], bestChild)
+		t.Depth[bestChild] = t.Depth[bestParent] + 1
+		t.ExpectedDelay[bestChild] = bestCost
+		delete(unattached, bestChild)
+		attached = append(attached, bestChild)
+	}
+	return t, nil
+}
+
+// Validate checks the structural invariants of the tree against the
+// caching node set: every caching node appears exactly once, parents form
+// no cycles, depths are consistent, and children lists mirror the parent
+// map.
+func (t *Tree) Validate(cachingNodes []trace.NodeID) error {
+	if len(t.Parent) != len(cachingNodes) {
+		return fmt.Errorf("core: tree has %d nodes, want %d", len(t.Parent), len(cachingNodes))
+	}
+	for _, c := range cachingNodes {
+		p, ok := t.Parent[c]
+		if !ok {
+			return fmt.Errorf("core: caching node %d missing from tree", c)
+		}
+		if t.Depth[c] != t.Depth[p]+1 {
+			return fmt.Errorf("core: depth of %d is %d but parent %d has %d", c, t.Depth[c], p, t.Depth[p])
+		}
+		// Walk to the root; must terminate at the source.
+		seen := map[trace.NodeID]bool{c: true}
+		cur := c
+		for cur != t.Source {
+			next, ok := t.Parent[cur]
+			if !ok {
+				return fmt.Errorf("core: node %d has ancestor %d with no parent", c, cur)
+			}
+			if seen[next] {
+				return fmt.Errorf("core: cycle through %d", next)
+			}
+			seen[next] = true
+			cur = next
+		}
+	}
+	for p, kids := range t.Children {
+		for _, k := range kids {
+			if t.Parent[k] != p {
+				return fmt.Errorf("core: child list of %d contains %d whose parent is %d", p, k, t.Parent[k])
+			}
+		}
+	}
+	return nil
+}

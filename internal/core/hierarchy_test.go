@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"freshcache/internal/centrality"
+	"freshcache/internal/mobility"
+	"freshcache/internal/trace"
+)
+
+func TestBuildTreeChain(t *testing.T) {
+	// Source 0 meets only 1; 1 meets only 2; 2 meets only 3.
+	m := ratesWith(4, map[[2]int]float64{
+		{0, 1}: 0.1, {1, 2}: 0.1, {2, 3}: 0.1,
+	})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate([]trace.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[1] != 0 || tree.Parent[2] != 1 || tree.Parent[3] != 2 {
+		t.Fatalf("parents: %+v", tree.Parent)
+	}
+	if tree.MaxDepth() != 3 {
+		t.Fatalf("max depth = %d, want 3", tree.MaxDepth())
+	}
+	// Expected delay accumulates per hop: 10 + 10 + 10 for node 3.
+	if math.Abs(tree.ExpectedDelay[3]-30) > 1e-9 {
+		t.Fatalf("delay(3) = %v, want 30", tree.ExpectedDelay[3])
+	}
+}
+
+func TestBuildTreePrefersDirectWhenFast(t *testing.T) {
+	// Source meets both caching nodes at high rate; direct attachment
+	// should win over chaining.
+	m := ratesWith(3, map[[2]int]float64{
+		{0, 1}: 0.1, {0, 2}: 0.1, {1, 2}: 0.01,
+	})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[1] != 0 || tree.Parent[2] != 0 {
+		t.Fatalf("parents: %+v", tree.Parent)
+	}
+}
+
+func TestBuildTreeDelegatesWhenBetter(t *testing.T) {
+	// Source barely meets node 2, but node 1 (well connected to both)
+	// should be made responsible for node 2.
+	m := ratesWith(3, map[[2]int]float64{
+		{0, 1}: 0.1, {0, 2}: 0.0001, {1, 2}: 0.1,
+	})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Parent[2] != 1 {
+		t.Fatalf("node 2 parented to %d, want 1", tree.Parent[2])
+	}
+	kids := tree.ResponsibleFor(1)
+	if len(kids) != 1 || kids[0] != 2 {
+		t.Fatalf("ResponsibleFor(1) = %v", kids)
+	}
+}
+
+func TestBuildTreeFanoutBound(t *testing.T) {
+	// Source meets everyone equally; fan-out 2 forces depth.
+	pairs := map[[2]int]float64{}
+	caching := make([]trace.NodeID, 0, 6)
+	for i := 1; i <= 6; i++ {
+		pairs[[2]int{0, i}] = 0.1
+		caching = append(caching, trace.NodeID(i))
+		for j := i + 1; j <= 6; j++ {
+			pairs[[2]int{i, j}] = 0.1
+		}
+	}
+	m := ratesWith(7, pairs)
+	tree, err := BuildTree(m, 0, caching, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(caching); err != nil {
+		t.Fatal(err)
+	}
+	for n, kids := range tree.Children {
+		if len(kids) > 2 {
+			t.Fatalf("node %d has %d children with fanout 2", n, len(kids))
+		}
+	}
+	if len(tree.ResponsibleFor(0)) != 2 {
+		t.Fatalf("source children = %d, want 2", len(tree.ResponsibleFor(0)))
+	}
+	if tree.MaxDepth() < 2 {
+		t.Fatalf("max depth = %d; fanout bound not forcing depth", tree.MaxDepth())
+	}
+}
+
+func TestBuildTreeDisconnectedFallsBackToSource(t *testing.T) {
+	// Node 2 never meets anyone: still attached (to the source), with
+	// infinite expected delay.
+	m := ratesWith(3, map[[2]int]float64{{0, 1}: 0.1})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate([]trace.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tree.Parent[2]; !ok {
+		t.Fatal("disconnected node not attached")
+	}
+	if !math.IsInf(tree.ExpectedDelay[2], 1) {
+		t.Fatalf("delay(2) = %v, want +Inf", tree.ExpectedDelay[2])
+	}
+}
+
+func TestBuildTreeRejectsBadInput(t *testing.T) {
+	m := ratesWith(3, nil)
+	if _, err := BuildTree(m, 0, []trace.NodeID{0}, 0); err == nil {
+		t.Fatal("source as caching node accepted")
+	}
+	if _, err := BuildTree(m, 0, []trace.NodeID{1, 1}, 0); err == nil {
+		t.Fatal("duplicate caching node accepted")
+	}
+	if _, err := BuildTree(m, 0, []trace.NodeID{1}, -1); err == nil {
+		t.Fatal("negative fanout accepted")
+	}
+}
+
+func TestBuildTreeEmptyCachingSet(t *testing.T) {
+	m := ratesWith(2, nil)
+	tree, err := BuildTree(m, 0, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tree.MaxDepth() != 0 {
+		t.Fatalf("depth = %d", tree.MaxDepth())
+	}
+}
+
+func TestBuildTreeDeterministicOnRealisticRates(t *testing.T) {
+	g := &mobility.Community{
+		TraceName: "t", N: 40, Duration: 20 * mobility.Day, Communities: 4,
+		IntraRate: 6.0 / mobility.Day, InterRate: 0.5 / mobility.Day, RateShape: 0.8,
+		InterPairFraction: 0.5, HubFraction: 0.1, HubBoost: 3, MeanContactDur: 120,
+	}
+	tr, err := g.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := centrality.FromTrace(tr, 0, tr.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caching := []trace.NodeID{3, 7, 12, 20, 25, 31, 38}
+	a, err := BuildTree(m, 1, caching, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTree(m, 1, caching, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range caching {
+		if a.Parent[c] != b.Parent[c] {
+			t.Fatalf("nondeterministic parent for %d: %d vs %d", c, a.Parent[c], b.Parent[c])
+		}
+	}
+	if err := a.Validate(caching); err != nil {
+		t.Fatal(err)
+	}
+	// The tree should bound expected delays: every finite-delay node's
+	// delay must be at least its best single-hop time to the source
+	// (optimality sanity, not exact optimality).
+	for _, c := range caching {
+		if d := a.ExpectedDelay[c]; !math.IsInf(d, 1) && d <= 0 {
+			t.Fatalf("delay(%d) = %v", c, d)
+		}
+	}
+}
+
+func TestStarTree(t *testing.T) {
+	tree, err := starTree(5, []trace.NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate([]trace.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.MaxDepth() != 1 {
+		t.Fatalf("star depth = %d", tree.MaxDepth())
+	}
+	if len(tree.ResponsibleFor(5)) != 3 {
+		t.Fatalf("source children = %v", tree.ResponsibleFor(5))
+	}
+	if _, err := starTree(1, []trace.NodeID{1}); err == nil {
+		t.Fatal("source in caching set accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"freshcache/internal/cache"
+	"freshcache/internal/network"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// End-to-end protocol invariants checked over randomized scenarios: for
+// ANY random trace, scheme, and failure configuration, the simulation
+// must uphold causality and accounting invariants. This is the strongest
+// regression net the engine has — any protocol change that teleports
+// data, double-serves queries, or corrupts accounting fails here.
+
+type invariantScenario struct {
+	seed    int64
+	scheme  Scheme
+	tr      *trace.Trace
+	catalog *cache.Catalog
+	cfg     Config
+}
+
+// randomScenario builds a small random scenario from the seed.
+func randomScenario(seed int64) (*invariantScenario, error) {
+	rng := stats.NewRNG(seed)
+	n := 8 + rng.Intn(12)
+	duration := 5000.0 + rng.Float64()*20000
+
+	tr := &trace.Trace{Name: "inv", N: n, Duration: duration}
+	contacts := 100 + rng.Intn(400)
+	for i := 0; i < contacts; i++ {
+		a := trace.NodeID(rng.Intn(n))
+		b := trace.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		start := rng.Float64() * (duration - 100)
+		tr.Contacts = append(tr.Contacts, trace.Contact{A: a, B: b, Start: start, End: start + 5 + rng.Float64()*60})
+	}
+	tr.Normalize()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	numItems := 1 + rng.Intn(3)
+	items := make([]cache.Item, numItems)
+	for i := range items {
+		r := 500 + rng.Float64()*2000
+		items[i] = cache.Item{
+			ID:              cache.ItemID(i),
+			Source:          trace.NodeID(i),
+			Phase:           rng.Float64() * r * 0.9,
+			RefreshInterval: r,
+			FreshnessWindow: r * (0.5 + rng.Float64()),
+			Lifetime:        r * (1 + rng.Float64()*2),
+			Size:            1,
+		}
+	}
+	catalog, err := cache.NewCatalog(items)
+	if err != nil {
+		return nil, err
+	}
+
+	schemes := Schemes()
+	spec := schemes[rng.Intn(len(schemes))]
+	cfg := Config{
+		Trace:           tr,
+		Catalog:         catalog,
+		Scheme:          spec.New(),
+		NumCachingNodes: 2 + rng.Intn(3),
+		Seed:            seed,
+		Workload:        cache.WorkloadConfig{QueryRate: 1.0 / 2000, ZipfExponent: 1.1},
+	}
+	// Random failure injection and knobs.
+	switch rng.Intn(4) {
+	case 1:
+		cfg.DropProb = rng.Float64() * 0.5
+	case 2:
+		cfg.Churn = network.ChurnConfig{MeanUp: 1000 + rng.Float64()*5000, MeanDown: 500 + rng.Float64()*2000}
+	case 3:
+		cfg.MsgTime = 1 + rng.Float64()*20
+	}
+	if rng.Intn(3) == 0 {
+		cfg.QueryRelays = 1 + rng.Intn(3)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Knowledge = KnowledgeDistributed
+	}
+	if rng.Intn(4) == 0 {
+		cfg.RebuildInterval = duration / 4
+	}
+	return &invariantScenario{seed: seed, scheme: cfg.Scheme, tr: tr, catalog: catalog, cfg: cfg}, nil
+}
+
+func checkInvariants(t *testing.T, sc *invariantScenario) {
+	t.Helper()
+	eng, err := NewEngine(sc.cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.seed, err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("seed %d (%s): %v", sc.seed, sc.cfg.Scheme.Name(), err)
+	}
+
+	// Ratio-type metrics are probabilities.
+	for name, v := range map[string]float64{
+		"freshness":      res.FreshnessRatio,
+		"answeredOK":     res.AnsweredOK,
+		"freshAnswers":   res.FreshAnswers,
+		"validAnswers":   res.ValidAnswers,
+		"freshAccess":    res.FreshAccessRate,
+		"validAccess":    res.ValidAccessRate,
+		"onTime":         res.OnTimeRatio,
+		"sourceTxShare":  res.SourceTxShare,
+		"maxNodeTxShare": res.MaxNodeTxShare,
+		"loadGini":       res.LoadGini,
+	} {
+		if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+			t.Fatalf("seed %d (%s): %s = %v outside [0,1]", sc.seed, sc.cfg.Scheme.Name(), name, v)
+		}
+	}
+
+	rt := eng.Runtime()
+	if rt == nil {
+		t.Fatalf("seed %d: no runtime", sc.seed)
+	}
+
+	// Causality of deliveries: generated in the measurement phase, never
+	// delivered before generation, versions consistent with the item
+	// schedule, and OnTime flags truthful.
+	for _, d := range eng.Collector().Deliveries() {
+		it, err := sc.catalog.Item(d.Item)
+		if err != nil {
+			t.Fatalf("seed %d: delivery for unknown item %d", sc.seed, d.Item)
+		}
+		if d.DeliveredAt < d.GeneratedAt {
+			t.Fatalf("seed %d (%s): delivery before generation: %+v", sc.seed, sc.cfg.Scheme.Name(), d)
+		}
+		if want := cache.VersionTime(it, rt.Epoch, d.Version); math.Abs(want-d.GeneratedAt) > 1e-6 {
+			t.Fatalf("seed %d: version %d generated at %v, schedule says %v", sc.seed, d.Version, d.GeneratedAt, want)
+		}
+		if got := d.DeliveredAt-d.GeneratedAt <= it.FreshnessWindow; got != d.OnTime {
+			t.Fatalf("seed %d: OnTime flag wrong: %+v (window %v)", sc.seed, d, it.FreshnessWindow)
+		}
+		if !rt.IsCachingNode(d.Node) {
+			t.Fatalf("seed %d: delivery to non-caching node %d", sc.seed, d.Node)
+		}
+	}
+
+	// Query log sanity: served queries have causal timestamps, valid
+	// answers were within lifetime at service, and no served copy predates
+	// the epoch schedule.
+	for _, q := range eng.book.All() {
+		if !q.Served {
+			continue
+		}
+		if q.ServedAt < q.IssuedAt {
+			t.Fatalf("seed %d: query served before issue: %+v", sc.seed, q)
+		}
+		it, err := sc.catalog.Item(q.Item)
+		if err != nil {
+			t.Fatalf("seed %d: query for unknown item", sc.seed)
+		}
+		if q.Valid && q.ServedAt-q.ServedGeneratedAt > it.Lifetime+1e-9 {
+			t.Fatalf("seed %d: expired copy marked valid: %+v", sc.seed, q)
+		}
+		if q.ServedVersion < 0 {
+			t.Fatalf("seed %d: negative served version: %+v", sc.seed, q)
+		}
+	}
+
+	// Accounting: answered <= queries, deliveries consistent, overhead
+	// non-negative.
+	if res.Answered > res.Queries {
+		t.Fatalf("seed %d: answered %d > queries %d", sc.seed, res.Answered, res.Queries)
+	}
+	if res.Transmissions < 0 || res.TxPerVersion < 0 {
+		t.Fatalf("seed %d: negative overhead", sc.seed)
+	}
+	if res.Scheme == "oracle" && res.Transmissions != 0 {
+		t.Fatalf("seed %d: oracle paid transmissions", sc.seed)
+	}
+}
+
+func TestEngineInvariantsRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized end-to-end simulations")
+	}
+	f := func(seed int64) bool {
+		sc, err := randomScenario(seed)
+		if err != nil {
+			// Degenerate random trace (e.g. all self-contacts skipped to
+			// empty); not an engine failure.
+			return true
+		}
+		checkInvariants(t, sc)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineInvariantsFixedSeeds(t *testing.T) {
+	// A deterministic sample across every scheme, always run (not
+	// skipped in -short) for fast regression signal.
+	for seed := int64(1); seed <= int64(len(Schemes())); seed++ {
+		sc, err := randomScenario(seed * 997)
+		if err != nil {
+			continue
+		}
+		checkInvariants(t, sc)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"freshcache/internal/trace"
+)
+
+// Micro-tests for the opportunistic "distributed maintenance" side
+// channels: caching-node peer sync and relay delivery to unplanned caching
+// nodes. Reuses the 5-node micro-scenario helpers from schemes_test.go.
+
+func TestPeerSyncRefreshesStalePeer(t *testing.T) {
+	// Chain warmup makes {1,2} caching with tree 0→1→2. Measurement: the
+	// source refreshes node 1 with v0 and v1, but node 2 is reached only
+	// via a direct (non-tree-relevant) meeting with node 1 at 500 — peer
+	// sync must carry v1 across even though by then node 1's duty already
+	// delivered... here we make node 2 miss the v0 round entirely.
+	contacts := []trace.Contact{
+		ct(0, 1, 10), ct(0, 1, 20), ct(0, 1, 30),
+		ct(1, 2, 15), ct(1, 2, 25),
+		ct(2, 4, 40),
+		ct(0, 3, 50),
+		// Measurement: only source→1 transfers, then a single 1↔2 meeting
+		// late in v1's life.
+		ct(0, 1, 150), // v0 to node 1
+		ct(0, 1, 450), // v1 to node 1
+		ct(1, 2, 520), // node 2 gets v1 (peer sync / duty)
+	}
+	eng := microEngine(t, NewHierarchical(), contacts)
+	_, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := deliveriesTo(eng.Collector(), 2)
+	if len(d2) != 1 || d2[0].Version != 1 || d2[0].DeliveredAt != 520 {
+		t.Fatalf("node 2 deliveries: %+v", d2)
+	}
+}
+
+func TestPeerSyncSkipsExpiredCopies(t *testing.T) {
+	// Node 1 holds only v0 (generated at 100, lifetime 600). It meets
+	// node 2 at 750, after expiry: no transfer may happen.
+	contacts := []trace.Contact{
+		ct(0, 1, 10), ct(0, 1, 20), ct(0, 1, 30),
+		ct(1, 2, 15), ct(1, 2, 25),
+		ct(2, 4, 40),
+		ct(0, 3, 50),
+		ct(0, 1, 150), // v0 to node 1; v1 (gen 400) never reaches node 1
+		ct(1, 2, 750), // v0 expired at 700
+	}
+	eng := microEngine(t, NewHierarchical(), contacts)
+	_, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 := deliveriesTo(eng.Collector(), 2); len(d2) != 0 {
+		t.Fatalf("expired copy peer-synced: %+v", d2)
+	}
+}
+
+func TestPeerSyncDisabledForDirect(t *testing.T) {
+	// Same contacts as the stale-peer test, but Direct must not let
+	// caching nodes refresh each other.
+	contacts := []trace.Contact{
+		ct(0, 1, 10), ct(0, 1, 20), ct(0, 1, 30),
+		ct(1, 2, 15), ct(1, 2, 25),
+		ct(2, 4, 40),
+		ct(0, 3, 50),
+		ct(0, 1, 150),
+		ct(1, 2, 200),
+	}
+	eng := microEngine(t, NewDirect(), contacts)
+	_, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 := deliveriesTo(eng.Collector(), 2); len(d2) != 0 {
+		t.Fatalf("direct peer-synced: %+v", d2)
+	}
+}
+
+func TestRelayDeliversOpportunisticallyToOtherCachingNodes(t *testing.T) {
+	// relayContacts gives node 2 a relay plan through node 3. Add a
+	// meeting between the relay and caching node 1 BEFORE node 1 gets the
+	// version from the source: the relay should hand its copy over even
+	// though node 1 was not the planned destination.
+	contacts := []trace.Contact{
+		ct(0, 1, 10), ct(0, 1, 20), ct(0, 1, 30),
+		ct(0, 3, 15), ct(0, 3, 25),
+		ct(3, 2, 35), ct(3, 2, 45),
+		ct(2, 4, 55),
+		ct(0, 3, 110), // hand-off of v0 (planned dest: node 2)
+		ct(3, 1, 130), // relay meets caching node 1 — opportunistic delivery
+		ct(3, 2, 250), // planned delivery still happens
+	}
+	eng := microEngine(t, NewHierarchical(), contacts)
+	_, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := deliveriesTo(eng.Collector(), 1)
+	if len(d1) != 1 || d1[0].DeliveredAt != 130 {
+		t.Fatalf("opportunistic delivery to node 1: %+v", d1)
+	}
+	d2 := deliveriesTo(eng.Collector(), 2)
+	if len(d2) != 1 || d2[0].DeliveredAt != 250 {
+		t.Fatalf("planned delivery to node 2: %+v", d2)
+	}
+}
+
+func TestOpportunisticImprovesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	withSync := runScheme(t, NewHierarchical(), 77)
+	noSync := runScheme(t, &refreshScheme{name: "hier-nosync", hierarchical: true, replicate: true}, 77)
+	t.Logf("with sync %.3f, without %.3f", withSync.FreshnessRatio, noSync.FreshnessRatio)
+	if withSync.FreshnessRatio <= noSync.FreshnessRatio {
+		t.Fatalf("peer sync did not help: %v vs %v", withSync.FreshnessRatio, noSync.FreshnessRatio)
+	}
+}

@@ -1,0 +1,779 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"freshcache/internal/cache"
+	"freshcache/internal/centrality"
+	"freshcache/internal/network"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// copyKey identifies one version of one item.
+type copyKey struct {
+	item    cache.ItemID
+	version int
+}
+
+// duty is the refresh responsibility a node holds for one item version:
+// the set of caching nodes it must still refresh, and the relay plans
+// backing each of them.
+type duty struct {
+	key    copyKey
+	genAt  float64
+	window float64
+	// ttl is how long copies of this version stay worth delivering (the
+	// item lifetime); relay copies expire at genAt+ttl.
+	ttl float64
+	// dests are the children not yet known to be refreshed.
+	dests map[trace.NodeID]bool
+	// relayFor maps relay -> destinations that relay serves (empty when
+	// replication is off or unnecessary).
+	relayFor map[trace.NodeID]map[trace.NodeID]bool
+}
+
+// relayEntry is a copy parked at a relay node on behalf of responsible
+// nodes, tagged with the destinations it should be delivered to.
+type relayEntry struct {
+	key    copyKey
+	genAt  float64
+	expire float64
+	dests  map[trace.NodeID]bool
+}
+
+// refreshScheme is the unified refresh protocol behind four of the
+// evaluated schemes. Its two switches correspond exactly to the paper's
+// two ideas:
+//
+//   - hierarchical=false: only the source refreshes caching nodes (a star
+//     "hierarchy") — the Direct baselines.
+//   - hierarchical=true: the refresh tree of BuildTree distributes
+//     responsibility — each caching node refreshes its children.
+//   - replicate: probabilistic replication through relay nodes per
+//     PlanReplication; off = direct parent→child contacts only.
+//   - onlyFirstVersion: the NoRefresh floor — version 0 propagates (initial
+//     cache fill), later versions are never pushed.
+type refreshScheme struct {
+	name             string
+	hierarchical     bool
+	replicate        bool
+	onlyFirstVersion bool
+	// randomRelays replaces the analysis-driven relay selection with a
+	// uniformly random relay set of the same maximum size — the ablation
+	// showing that *which* relays carry copies matters, not just how many.
+	randomRelays bool
+	// opportunistic enables the distributed-maintenance side channels of
+	// the hierarchical variants: two caching nodes that meet refresh each
+	// other's stale copies, and a relay hands its copy to ANY caching node
+	// that lacks the version (bookkeeping still tracks the planned
+	// destinations). The Direct baselines stay source-only by definition.
+	opportunistic bool
+	// adaptive closes a feedback loop over the relay budget: each item's
+	// observed on-time delivery ratio is compared against the requirement
+	// at every generation, and the per-item relay bound grows when the
+	// requirement is missed and shrinks when it is comfortably exceeded.
+	adaptive bool
+
+	rng *rand.Rand // non-nil iff randomRelays
+
+	rt    *Runtime
+	trees map[cache.ItemID]*Tree
+	// duties[node][item] is the node's current (newest-version) duty.
+	duties map[trace.NodeID]map[cache.ItemID]*duty
+	// relays[node][key] are copies parked at the node for delivery.
+	relays map[trace.NodeID]map[copyKey]*relayEntry
+
+	// Planner statistics for analysis validation (E7).
+	plansTotal     int
+	plansSatisfied int
+	sumAchieved    float64
+	planErr        error
+
+	// Adaptive-control state (adaptive only): per-item relay budget and
+	// on-time observations since the item's last adjustment.
+	relayBudget map[cache.ItemID]int
+	obsOnTime   map[cache.ItemID]int
+	obsTotal    map[cache.ItemID]int
+}
+
+var (
+	_ Scheme        = (*refreshScheme)(nil)
+	_ StatsReporter = (*refreshScheme)(nil)
+)
+
+// NewDirect returns the source-only refreshing baseline: caching nodes are
+// refreshed exclusively on direct contact with the data source.
+func NewDirect() Scheme {
+	return &refreshScheme{name: "direct"}
+}
+
+// NewDirectReplicated returns the ablation with probabilistic replication
+// but no hierarchy: the source remains responsible for every caching node
+// and hands copies to relays per the replication analysis.
+func NewDirectReplicated() Scheme {
+	return &refreshScheme{name: "direct-rep", replicate: true}
+}
+
+// NewHierarchical returns the paper's scheme: distributed hierarchical
+// refreshing with probabilistic replication.
+func NewHierarchical() Scheme {
+	return &refreshScheme{name: "hierarchical", hierarchical: true, replicate: true, opportunistic: true}
+}
+
+// NewHierarchicalNoRep returns the ablation with the refresh hierarchy but
+// without relay replication (direct parent→child contacts only).
+func NewHierarchicalNoRep() Scheme {
+	return &refreshScheme{name: "hierarchical-norep", hierarchical: true, opportunistic: true}
+}
+
+// NewNoRefresh returns the floor baseline: caches fill once with version 0
+// and are never refreshed.
+func NewNoRefresh() Scheme {
+	return &refreshScheme{name: "norefresh", onlyFirstVersion: true}
+}
+
+// NewRandomReplicated returns the relay-selection ablation: hierarchy and
+// replication exactly as the paper's scheme, but relays are chosen
+// uniformly at random instead of by the delivery-probability analysis.
+func NewRandomReplicated() Scheme {
+	return &refreshScheme{name: "random-rep", hierarchical: true, replicate: true, randomRelays: true, opportunistic: true}
+}
+
+// NewHierarchicalBare returns the hierarchy with no replication and no
+// opportunistic side channels: deliveries happen strictly along tree
+// edges. Not part of the evaluated panel; it exists so the analytical
+// tree forecast (AnalyzeTree) can be validated against a protocol whose
+// behavior the analysis exactly models.
+func NewHierarchicalBare() Scheme {
+	return &refreshScheme{name: "hierarchical-bare", hierarchical: true}
+}
+
+// NewAdaptive returns the paper's scheme with an adaptive relay budget:
+// instead of a fixed per-destination relay bound, each item's bound is
+// feedback-controlled from its measured on-time delivery ratio. A natural
+// extension: the analysis picks relays, the controller picks how many the
+// analysis may use.
+func NewAdaptive() Scheme {
+	return &refreshScheme{name: "adaptive", hierarchical: true, replicate: true, opportunistic: true, adaptive: true}
+}
+
+// Name implements Scheme.
+func (s *refreshScheme) Name() string { return s.name }
+
+// Init implements Scheme: it builds the refresh tree for every item (a
+// star rooted at the source for the non-hierarchical variants).
+func (s *refreshScheme) Init(rt *Runtime) error {
+	s.rt = rt
+	s.trees = make(map[cache.ItemID]*Tree, rt.Catalog.Len())
+	s.duties = make(map[trace.NodeID]map[cache.ItemID]*duty)
+	s.relays = make(map[trace.NodeID]map[copyKey]*relayEntry)
+	if s.randomRelays {
+		s.rng = stats.Derive(rt.Seed, "core/random-relays")
+	}
+	if s.adaptive {
+		s.relayBudget = make(map[cache.ItemID]int)
+		s.obsOnTime = make(map[cache.ItemID]int)
+		s.obsTotal = make(map[cache.ItemID]int)
+	}
+
+	for _, it := range rt.Catalog.Items() {
+		var t *Tree
+		var err error
+		if s.hierarchical {
+			// The source builds the tree for its item from its own
+			// knowledge (the oracle matrix, or its local view under
+			// distributed knowledge).
+			t, err = BuildTree(rt.RatesFor(it.Source), it.Source, rt.CachingNodes, rt.MaxFanout)
+		} else {
+			t, err = starTree(it.Source, rt.CachingNodes)
+		}
+		if err != nil {
+			return fmt.Errorf("core: tree for item %d: %w", it.ID, err)
+		}
+		s.trees[it.ID] = t
+	}
+	return nil
+}
+
+// Rebuild implements Rebuilder: it reconstructs the refresh trees from
+// the runtime's current rate knowledge. Outstanding duties and relay
+// copies are kept — copies in flight stay useful — but responsibility for
+// future versions follows the new trees.
+func (s *refreshScheme) Rebuild(rt *Runtime) error {
+	s.rt = rt
+	for _, it := range rt.Catalog.Items() {
+		if !s.hierarchical {
+			continue // star trees have no rates to adapt to
+		}
+		t, err := BuildTree(rt.RatesFor(it.Source), it.Source, rt.CachingNodes, rt.MaxFanout)
+		if err != nil {
+			return fmt.Errorf("core: rebuild tree for item %d: %w", it.ID, err)
+		}
+		s.trees[it.ID] = t
+	}
+	return nil
+}
+
+var _ Rebuilder = (*refreshScheme)(nil)
+
+// starTree builds the degenerate one-level hierarchy: every caching node
+// is a direct child of the source.
+func starTree(source trace.NodeID, cachingNodes []trace.NodeID) (*Tree, error) {
+	t := &Tree{
+		Source:        source,
+		Parent:        make(map[trace.NodeID]trace.NodeID, len(cachingNodes)),
+		Children:      map[trace.NodeID][]trace.NodeID{},
+		Depth:         map[trace.NodeID]int{source: 0},
+		ExpectedDelay: map[trace.NodeID]float64{source: 0},
+	}
+	for _, c := range cachingNodes {
+		if c == source {
+			return nil, fmt.Errorf("core: source %d in caching set", source)
+		}
+		t.Parent[c] = source
+		t.Children[source] = append(t.Children[source], c)
+		t.Depth[c] = 1
+	}
+	return t, nil
+}
+
+// OnGenerate implements Scheme: the source becomes responsible for its
+// children in the tree.
+func (s *refreshScheme) OnGenerate(it cache.Item, version int, now float64) {
+	if s.onlyFirstVersion && version > 0 {
+		return
+	}
+	if s.adaptive {
+		s.adjustBudget(it)
+	}
+	s.assumeDuty(it.Source, it, version, now, now)
+}
+
+// adjustBudget is the per-item feedback controller: compare the on-time
+// ratio observed since the last generation against the requirement and
+// nudge the relay bound. A minimum sample keeps it from chasing noise.
+func (s *refreshScheme) adjustBudget(it cache.Item) {
+	const minSample = 3
+	total := s.obsTotal[it.ID]
+	if total < minSample {
+		return
+	}
+	ratio := float64(s.obsOnTime[it.ID]) / float64(total)
+	budget, ok := s.relayBudget[it.ID]
+	if !ok {
+		budget = s.rt.MaxRelays
+	}
+	switch {
+	case ratio < s.rt.PReq && (s.rt.MaxRelays == 0 || budget < 4*s.rt.MaxRelays):
+		budget++
+	case ratio > s.rt.PReq+0.05 && budget > 1:
+		budget--
+	}
+	s.relayBudget[it.ID] = budget
+	s.obsOnTime[it.ID] = 0
+	s.obsTotal[it.ID] = 0
+}
+
+// relayBound returns the relay bound in force for the item.
+func (s *refreshScheme) relayBound(item cache.ItemID) int {
+	if s.adaptive {
+		if b, ok := s.relayBudget[item]; ok {
+			return b
+		}
+	}
+	return s.rt.MaxRelays
+}
+
+// observeDelivery feeds the adaptive controller with one accepted cache
+// delivery.
+func (s *refreshScheme) observeDelivery(item cache.ItemID, genAt, window, now float64) {
+	if !s.adaptive {
+		return
+	}
+	s.obsTotal[item]++
+	if now-genAt <= window {
+		s.obsOnTime[item]++
+	}
+}
+
+// assumeDuty makes `holder` responsible for refreshing its children in the
+// item's tree with the given version. genAt is the version's generation
+// time; now the moment responsibility starts (later than genAt for caching
+// nodes deeper in the tree).
+func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version int, genAt, now float64) {
+	t := s.trees[it.ID]
+	children := t.ResponsibleFor(holder)
+	if len(children) == 0 {
+		return
+	}
+	if cur, ok := s.duties[holder][it.ID]; ok && cur.key.version >= version {
+		return // already responsible for this or a newer version
+	}
+	d := &duty{
+		key:      copyKey{item: it.ID, version: version},
+		genAt:    genAt,
+		window:   it.FreshnessWindow,
+		ttl:      it.Lifetime,
+		dests:    make(map[trace.NodeID]bool, len(children)),
+		relayFor: make(map[trace.NodeID]map[trace.NodeID]bool),
+	}
+	for _, c := range children {
+		// Skip children that already have this version (delivered by an
+		// overtaking relay path).
+		if v, ok := s.rt.CachedVersion(c, it.ID); ok && v >= version {
+			continue
+		}
+		d.dests[c] = true
+	}
+	if len(d.dests) == 0 {
+		return
+	}
+
+	if s.replicate {
+		budget := d.genAt + d.window - now
+		if budget > 0 {
+			rates := s.rt.RatesFor(holder)
+			for dest := range d.dests {
+				var plan RelayPlan
+				var err error
+				if s.randomRelays {
+					plan = s.randomPlan(rates, holder, dest, budget)
+				} else {
+					plan, err = PlanReplication(rates, holder, dest, s.rt.AllNodes(), budget, s.rt.PReq, s.relayBound(it.ID))
+					if err != nil {
+						if s.planErr == nil {
+							s.planErr = err
+						}
+						continue
+					}
+				}
+				s.plansTotal++
+				if plan.Satisfied {
+					s.plansSatisfied++
+				}
+				s.sumAchieved += plan.AchievedProb
+				for _, r := range plan.Relays {
+					if d.relayFor[r] == nil {
+						d.relayFor[r] = make(map[trace.NodeID]bool)
+					}
+					d.relayFor[r][dest] = true
+				}
+			}
+		}
+	}
+
+	if s.duties[holder] == nil {
+		s.duties[holder] = make(map[cache.ItemID]*duty)
+	}
+	s.duties[holder][it.ID] = d // replaces any older-version duty
+}
+
+// randomPlan draws MaxRelays distinct random relays (excluding holder and
+// destination) and reports the honest analytical probability of that set,
+// so E7-style comparisons stay meaningful.
+func (s *refreshScheme) randomPlan(rates centrality.RateView, holder, dest trace.NodeID, budget float64) RelayPlan {
+	plan := RelayPlan{Dest: dest}
+	plan.DirectProb = DirectProb(rates.Rate(holder, dest), budget)
+	miss := 1 - plan.DirectProb
+	perm := s.rng.Perm(s.rt.N)
+	for _, idx := range perm {
+		if s.rt.MaxRelays > 0 && len(plan.Relays) >= s.rt.MaxRelays {
+			break
+		}
+		r := trace.NodeID(idx)
+		if r == holder || r == dest {
+			continue
+		}
+		plan.Relays = append(plan.Relays, r)
+		miss *= 1 - TwoHopProb(rates.Rate(holder, r), rates.Rate(r, dest), budget)
+	}
+	plan.AchievedProb = 1 - miss
+	plan.Satisfied = plan.AchievedProb >= s.rt.PReq
+	return plan
+}
+
+// OnContact implements Scheme.
+func (s *refreshScheme) OnContact(c *network.Contact) {
+	// Lazy relay-buffer expiry for both endpoints.
+	s.expireRelays(c.A, c.Time)
+	s.expireRelays(c.B, c.Time)
+
+	// Both roles in both directions: responsible-node actions, then
+	// relay deliveries, then opportunistic peer sync.
+	s.actAsResponsible(c, c.A, c.B)
+	s.actAsResponsible(c, c.B, c.A)
+	s.actAsRelay(c, c.A, c.B)
+	s.actAsRelay(c, c.B, c.A)
+	if s.opportunistic {
+		s.syncPeers(c, c.A, c.B)
+		s.syncPeers(c, c.B, c.A)
+	}
+}
+
+// syncPeers lets a caching node refresh a stale caching peer it happens to
+// meet, regardless of tree edges — part of maintaining freshness "in a
+// distributed manner": every caching node helps the peers it actually
+// sees.
+func (s *refreshScheme) syncPeers(c *network.Contact, from, to trace.NodeID) {
+	if !s.rt.IsCachingNode(from) || !s.rt.IsCachingNode(to) {
+		return
+	}
+	for _, it := range s.rt.Catalog.Items() {
+		cp, ok := s.rt.CachedCopy(from, it.ID)
+		if !ok || cp.Expired(it, c.Time) {
+			continue
+		}
+		if v, ok := s.rt.CachedVersion(to, it.ID); ok && v >= cp.Version {
+			continue
+		}
+		if !c.Send(from, to, "refresh") {
+			return
+		}
+		cp.ReceivedAt = c.Time
+		if s.rt.DeliverToCache(to, cp, c.Time) {
+			s.observeDelivery(it.ID, cp.GeneratedAt, it.FreshnessWindow, c.Time)
+			s.assumeDuty(to, it, cp.Version, cp.GeneratedAt, c.Time)
+		}
+	}
+}
+
+// actAsResponsible runs holder's duties against peer: direct delivery when
+// peer is a pending destination, relay hand-off when peer is a planned
+// relay.
+func (s *refreshScheme) actAsResponsible(c *network.Contact, holder, peer trace.NodeID) {
+	duties := s.duties[holder]
+	if len(duties) == 0 {
+		return
+	}
+	// Iterate items in ID order: map order would make which destination
+	// wins a budget-limited contact nondeterministic across runs.
+	for _, it := range s.rt.Catalog.Items() {
+		itemID := it.ID
+		d, ok := duties[itemID]
+		if !ok {
+			continue
+		}
+		// A version past its lifetime is worthless; drop the duty.
+		if c.Time > d.genAt+d.ttl {
+			delete(duties, itemID)
+			continue
+		}
+		// Destination already refreshed by someone else? Clear silently.
+		if d.dests[peer] {
+			if v, ok := s.rt.CachedVersion(peer, itemID); ok && v >= d.key.version {
+				delete(d.dests, peer)
+			}
+		}
+		if d.dests[peer] {
+			if !c.Send(holder, peer, "refresh") {
+				return // contact budget exhausted; try next contact
+			}
+			cp := cache.Copy{Item: itemID, Version: d.key.version, GeneratedAt: d.genAt, ReceivedAt: c.Time}
+			if s.rt.DeliverToCache(peer, cp, c.Time) {
+				s.observeDelivery(itemID, d.genAt, d.window, c.Time)
+				s.assumeDuty(peer, it, d.key.version, d.genAt, c.Time)
+			}
+			delete(d.dests, peer)
+		} else if dests, ok := d.relayFor[peer]; ok && len(dests) > 0 {
+			// Hand the copy to the relay for its still-pending dests.
+			live := make(map[trace.NodeID]bool)
+			for dest := range dests {
+				if d.dests[dest] {
+					live[dest] = true
+				}
+			}
+			if len(live) == 0 {
+				delete(d.relayFor, peer)
+				continue
+			}
+			if s.giveToRelay(c, holder, peer, d, live) {
+				delete(d.relayFor, peer) // handed off once; relay owns it now
+			}
+		}
+		if len(d.dests) == 0 {
+			delete(duties, itemID)
+		}
+	}
+}
+
+// giveToRelay parks a copy at the relay. The physical copy transfer costs
+// one "relay" transmission the first time; adding destinations to a copy
+// the relay already holds is metadata and free.
+func (s *refreshScheme) giveToRelay(c *network.Contact, holder, relay trace.NodeID, d *duty, dests map[trace.NodeID]bool) bool {
+	buf := s.relays[relay]
+	entry, exists := buf[d.key]
+	if !exists {
+		if !c.Send(holder, relay, "relay") {
+			return false
+		}
+		if buf == nil {
+			buf = make(map[copyKey]*relayEntry)
+			s.relays[relay] = buf
+		}
+		if cap := s.rt.RelayBufferCap; cap > 0 && len(buf) >= cap {
+			s.evictRelayEntry(buf)
+		}
+		entry = &relayEntry{
+			key:   d.key,
+			genAt: d.genAt,
+			// Copies stay deliverable while the data is still valid, not
+			// just while the on-time window is open: a late refresh beats
+			// no refresh.
+			expire: d.genAt + d.ttl,
+			dests:  make(map[trace.NodeID]bool),
+		}
+		buf[d.key] = entry
+	}
+	for dest := range dests {
+		entry.dests[dest] = true
+	}
+	return true
+}
+
+// actAsRelay delivers copies parked at `relay` that are destined for peer.
+func (s *refreshScheme) actAsRelay(c *network.Contact, relay, peer trace.NodeID) {
+	buf := s.relays[relay]
+	if len(buf) == 0 {
+		return
+	}
+	keys := make([]copyKey, 0, len(buf))
+	for key := range buf {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].item != keys[j].item {
+			return keys[i].item < keys[j].item
+		}
+		return keys[i].version < keys[j].version
+	})
+	for _, key := range keys {
+		entry := buf[key]
+		planned := entry.dests[peer]
+		if !planned && !(s.opportunistic && s.rt.IsCachingNode(peer)) {
+			continue
+		}
+		delete(entry.dests, peer)
+		// Skip if the destination caught up through another path.
+		if v, ok := s.rt.CachedVersion(peer, key.item); ok && v >= key.version {
+			continue
+		}
+		if !c.Send(relay, peer, "refresh") {
+			if planned {
+				entry.dests[peer] = true // budget exhausted; retry next contact
+			}
+			return
+		}
+		cp := cache.Copy{Item: key.item, Version: key.version, GeneratedAt: entry.genAt, ReceivedAt: c.Time}
+		if s.rt.DeliverToCache(peer, cp, c.Time) {
+			if it, err := s.rt.Catalog.Item(key.item); err == nil {
+				s.observeDelivery(key.item, entry.genAt, it.FreshnessWindow, c.Time)
+				s.assumeDuty(peer, it, key.version, entry.genAt, c.Time)
+			}
+		}
+	}
+	for key, entry := range buf {
+		if len(entry.dests) == 0 {
+			delete(buf, key)
+		}
+	}
+}
+
+// evictRelayEntry drops the buffered copy closest to expiry (ties broken
+// by key for determinism) to make room in a capped relay buffer.
+func (s *refreshScheme) evictRelayEntry(buf map[copyKey]*relayEntry) {
+	var victim copyKey
+	first := true
+	for key, entry := range buf {
+		if first || entry.expire < buf[victim].expire ||
+			(entry.expire == buf[victim].expire && (key.item < victim.item || (key.item == victim.item && key.version < victim.version))) {
+			victim = key
+			first = false
+		}
+	}
+	if !first {
+		delete(buf, victim)
+	}
+}
+
+func (s *refreshScheme) expireRelays(node trace.NodeID, now float64) {
+	buf := s.relays[node]
+	for key, entry := range buf {
+		if now > entry.expire {
+			delete(buf, key)
+		}
+	}
+}
+
+// SchemeStats implements StatsReporter: the replication planner's
+// aggregate analytical probabilities, for validation against measured
+// on-time delivery.
+func (s *refreshScheme) SchemeStats() map[string]float64 {
+	out := map[string]float64{
+		"plansTotal":     float64(s.plansTotal),
+		"plansSatisfied": float64(s.plansSatisfied),
+	}
+	if s.plansTotal > 0 {
+		out["meanAchievedProb"] = s.sumAchieved / float64(s.plansTotal)
+		out["satisfiedRatio"] = float64(s.plansSatisfied) / float64(s.plansTotal)
+	}
+	if s.adaptive && len(s.relayBudget) > 0 {
+		sum := 0
+		for _, b := range s.relayBudget {
+			sum += b
+		}
+		out["meanRelayBudget"] = float64(sum) / float64(len(s.relayBudget))
+	}
+	if len(s.trees) > 0 {
+		depthSum, maxDepth := 0, 0
+		for _, t := range s.trees {
+			d := t.MaxDepth()
+			depthSum += d
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		out["meanTreeDepth"] = float64(depthSum) / float64(len(s.trees))
+		out["maxTreeDepth"] = float64(maxDepth)
+	}
+	return out
+}
+
+// epidemicScheme floods every new version to every node: the freshness
+// ceiling and the overhead ceiling.
+type epidemicScheme struct {
+	rt *Runtime
+	// known[node][item] is the newest copy the node carries (every node
+	// relays, not just caching nodes).
+	known map[trace.NodeID]map[cache.ItemID]cache.Copy
+}
+
+var _ Scheme = (*epidemicScheme)(nil)
+
+// NewEpidemic returns the flooding baseline.
+func NewEpidemic() Scheme { return &epidemicScheme{} }
+
+// Name implements Scheme.
+func (s *epidemicScheme) Name() string { return "epidemic" }
+
+// Init implements Scheme.
+func (s *epidemicScheme) Init(rt *Runtime) error {
+	s.rt = rt
+	s.known = make(map[trace.NodeID]map[cache.ItemID]cache.Copy, rt.N)
+	return nil
+}
+
+// OnGenerate implements Scheme.
+func (s *epidemicScheme) OnGenerate(it cache.Item, version int, now float64) {
+	s.setKnown(it.Source, cache.Copy{Item: it.ID, Version: version, GeneratedAt: now, ReceivedAt: now})
+}
+
+func (s *epidemicScheme) setKnown(node trace.NodeID, c cache.Copy) {
+	m := s.known[node]
+	if m == nil {
+		m = make(map[cache.ItemID]cache.Copy)
+		s.known[node] = m
+	}
+	if old, ok := m[c.Item]; !ok || c.Version > old.Version {
+		m[c.Item] = c
+	}
+}
+
+// OnContact implements Scheme: anti-entropy in both directions.
+func (s *epidemicScheme) OnContact(c *network.Contact) {
+	s.push(c, c.A, c.B)
+	s.push(c, c.B, c.A)
+}
+
+func (s *epidemicScheme) push(c *network.Contact, from, to trace.NodeID) {
+	src := s.known[from]
+	if len(src) == 0 {
+		return
+	}
+	for _, it := range s.rt.Catalog.Items() {
+		cp, ok := src[it.ID]
+		if !ok {
+			continue
+		}
+		if old, ok := s.known[to][it.ID]; ok && old.Version >= cp.Version {
+			continue
+		}
+		kind := "relay"
+		if s.rt.IsCachingNode(to) {
+			kind = "refresh"
+		}
+		if !c.Send(from, to, kind) {
+			return
+		}
+		cp.ReceivedAt = c.Time
+		s.setKnown(to, cp)
+		if s.rt.IsCachingNode(to) {
+			s.rt.DeliverToCache(to, cp, c.Time)
+		}
+	}
+}
+
+// oracleScheme delivers every version to every caching node instantly and
+// for free: the upper bound on freshness, not a real protocol.
+type oracleScheme struct {
+	rt *Runtime
+}
+
+var _ Scheme = (*oracleScheme)(nil)
+
+// NewOracle returns the instantaneous-refresh upper bound.
+func NewOracle() Scheme { return &oracleScheme{} }
+
+// Name implements Scheme.
+func (s *oracleScheme) Name() string { return "oracle" }
+
+// Init implements Scheme.
+func (s *oracleScheme) Init(rt *Runtime) error {
+	s.rt = rt
+	return nil
+}
+
+// OnGenerate implements Scheme.
+func (s *oracleScheme) OnGenerate(it cache.Item, version int, now float64) {
+	for _, cn := range s.rt.CachingNodes {
+		s.rt.DeliverToCache(cn, cache.Copy{Item: it.ID, Version: version, GeneratedAt: now, ReceivedAt: now}, now)
+	}
+}
+
+// OnContact implements Scheme (nothing to do; caches are always fresh).
+func (s *oracleScheme) OnContact(*network.Contact) {}
+
+// Schemes maps CLI names to scheme constructors, in the canonical
+// reporting order.
+func Schemes() []struct {
+	Name string
+	New  func() Scheme
+} {
+	return []struct {
+		Name string
+		New  func() Scheme
+	}{
+		{"norefresh", NewNoRefresh},
+		{"direct", NewDirect},
+		{"direct-rep", NewDirectReplicated},
+		{"hierarchical-norep", NewHierarchicalNoRep},
+		{"hierarchical", NewHierarchical},
+		{"random-rep", NewRandomReplicated},
+		{"adaptive", NewAdaptive},
+		{"spray", func() Scheme { return NewSprayAndWait(0) }},
+		{"epidemic", NewEpidemic},
+		{"oracle", NewOracle},
+	}
+}
+
+// SchemeByName returns a fresh scheme instance by its CLI name.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.Name == name {
+			return s.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}

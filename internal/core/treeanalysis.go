@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"freshcache/internal/analysis"
+	"freshcache/internal/centrality"
+	"freshcache/internal/trace"
+)
+
+// NodeForecast is the analytical prediction for one caching node in a
+// refresh tree: the probability a new version reaches it within the
+// freshness window along its tree path (relays excluded — this is the
+// pure-hierarchy bound the design reasons about).
+type NodeForecast struct {
+	Node     trace.NodeID
+	Depth    int
+	PathMean float64 // expected source-to-node delay (s); +Inf if disconnected
+	OnTime   float64 // P(delay <= window)
+}
+
+// TreeForecast aggregates per-node forecasts.
+type TreeForecast struct {
+	Nodes []NodeForecast
+	// MeanOnTime averages the per-node on-time probabilities — the
+	// analytical counterpart of the measured per-(version,node) on-time
+	// ratio of a relay-free hierarchical run.
+	MeanOnTime float64
+}
+
+// AnalyzeTree computes the hypoexponential delay analysis of every caching
+// node's tree path under the given rate knowledge and freshness window.
+// Hops with zero rate make a node unreachable (OnTime 0, PathMean +Inf).
+func AnalyzeTree(t *Tree, rates centrality.RateView, window float64) (TreeForecast, error) {
+	if window <= 0 {
+		return TreeForecast{}, fmt.Errorf("core: non-positive window %v", window)
+	}
+	ids := make([]trace.NodeID, 0, len(t.Parent))
+	for n := range t.Parent {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var fc TreeForecast
+	var sum float64
+	for _, n := range ids {
+		path, reachable := pathRates(t, rates, n)
+		nf := NodeForecast{Node: n, Depth: t.Depth[n]}
+		if !reachable {
+			nf.PathMean = math.Inf(1)
+		} else {
+			mean, err := analysis.PathMean(path)
+			if err != nil {
+				return TreeForecast{}, err
+			}
+			onTime, err := analysis.PathCDF(path, window)
+			if err != nil {
+				return TreeForecast{}, err
+			}
+			nf.PathMean = mean
+			nf.OnTime = onTime
+		}
+		sum += nf.OnTime
+		fc.Nodes = append(fc.Nodes, nf)
+	}
+	if len(fc.Nodes) > 0 {
+		fc.MeanOnTime = sum / float64(len(fc.Nodes))
+	}
+	return fc, nil
+}
+
+// pathRates collects the per-hop contact rates from the source down to
+// node n. reachable is false when any hop rate is zero.
+func pathRates(t *Tree, rates centrality.RateView, n trace.NodeID) ([]float64, bool) {
+	var rev []float64
+	cur := n
+	for cur != t.Source {
+		p := t.Parent[cur]
+		r := rates.Rate(p, cur)
+		if r <= 0 {
+			return nil, false
+		}
+		rev = append(rev, r)
+		cur = p
+	}
+	// Reverse into source-to-node order (cosmetic: the CDF of a sum is
+	// order-independent, but callers may inspect the path).
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"freshcache/internal/cache"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+func TestAnalyzeTreeChain(t *testing.T) {
+	m := ratesWith(4, map[[2]int]float64{
+		{0, 1}: 0.01, {1, 2}: 0.02, {2, 3}: 0.005,
+	})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := AnalyzeTree(tree, m, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(fc.Nodes))
+	}
+	// Node 1: single hop at 0.01 → mean 100s, OnTime = 1-e^-6.
+	n1 := fc.Nodes[0]
+	if n1.Node != 1 || math.Abs(n1.PathMean-100) > 1e-9 {
+		t.Fatalf("node1 forecast: %+v", n1)
+	}
+	if math.Abs(n1.OnTime-stats.ExpCDF(0.01, 600)) > 1e-9 {
+		t.Fatalf("node1 on-time: %v", n1.OnTime)
+	}
+	// Node 3: three hops, mean 100+50+200 = 350.
+	n3 := fc.Nodes[2]
+	if math.Abs(n3.PathMean-350) > 1e-9 {
+		t.Fatalf("node3 mean: %v", n3.PathMean)
+	}
+	// Deeper nodes cannot have higher on-time probability than their
+	// ancestors in a chain.
+	if fc.Nodes[1].OnTime > n1.OnTime || n3.OnTime > fc.Nodes[1].OnTime {
+		t.Fatalf("on-time not monotone down the chain: %+v", fc.Nodes)
+	}
+	want := (fc.Nodes[0].OnTime + fc.Nodes[1].OnTime + fc.Nodes[2].OnTime) / 3
+	if math.Abs(fc.MeanOnTime-want) > 1e-12 {
+		t.Fatalf("mean on-time: %v", fc.MeanOnTime)
+	}
+}
+
+func TestAnalyzeTreeDisconnected(t *testing.T) {
+	m := ratesWith(3, map[[2]int]float64{{0, 1}: 0.1})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := AnalyzeTree(tree, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nf := range fc.Nodes {
+		if nf.Node == 2 {
+			if nf.OnTime != 0 || !math.IsInf(nf.PathMean, 1) {
+				t.Fatalf("disconnected node forecast: %+v", nf)
+			}
+		}
+	}
+}
+
+func TestAnalyzeTreeValidation(t *testing.T) {
+	m := ratesWith(2, map[[2]int]float64{{0, 1}: 0.1})
+	tree, err := BuildTree(m, 0, []trace.NodeID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeTree(tree, m, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// The analytical forecast must match measurement where its assumptions
+// hold: a relay-free hierarchical run on an exponential-contacts trace
+// (no diurnal gaps, no communities drifting — pure Poisson pair
+// processes).
+func TestForecastMatchesMeasurementOnExponentialTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	g := &mobilityHetExp{}
+	tr := g.make(t)
+	// Long refresh interval relative to path delays: versions are almost
+	// never superseded before delivery, so the measured on-time ratio
+	// (which conditions on delivery) stays comparable to the analysis.
+	items := []cache.Item{
+		{ID: 0, Source: 0, RefreshInterval: 24 * 3600, FreshnessWindow: 6 * 3600, Lifetime: 96 * 3600, Size: 1},
+		{ID: 1, Source: 1, RefreshInterval: 24 * 3600, FreshnessWindow: 6 * 3600, Lifetime: 96 * 3600, Size: 1},
+	}
+	cat, err := cache.NewCatalog(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Trace:           tr,
+		Catalog:         cat,
+		Scheme:          &refreshScheme{name: "hier-norep-nosync", hierarchical: true},
+		NumCachingNodes: 6,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rt := eng.Runtime()
+	s, ok := eng.cfg.Scheme.(*refreshScheme)
+	if !ok {
+		t.Fatal("scheme type")
+	}
+
+	// Average the analytical forecast over items. The measurement
+	// conditions on delivery happening at all (deliveries stop when a
+	// version expires), so compare against the conditional prediction
+	// P(delay <= window) / P(delay <= lifetime).
+	var sum float64
+	count := 0
+	for _, it := range rt.Catalog.Items() {
+		onTime, err := AnalyzeTree(s.trees[it.ID], rt.Rates, it.FreshnessWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered, err := AnalyzeTree(s.trees[it.ID], rt.Rates, it.Lifetime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range onTime.Nodes {
+			if d := delivered.Nodes[i].OnTime; d > 0 {
+				sum += onTime.Nodes[i].OnTime / d
+				count++
+			}
+		}
+	}
+	predicted := sum / float64(count)
+	measured := eng.Collector().FirstDeliveryOnTimeRatio()
+	t.Logf("predicted on-time %.3f, measured %.3f", predicted, measured)
+	if math.Abs(predicted-measured) > 0.15 {
+		t.Fatalf("analysis and measurement disagree: %v vs %v", predicted, measured)
+	}
+}
+
+// mobilityHetExp builds a pure heterogeneous-exponential trace without
+// importing mobility at top level twice (kept tiny and local).
+type mobilityHetExp struct{}
+
+func (mobilityHetExp) make(t *testing.T) *trace.Trace {
+	t.Helper()
+	rng := stats.NewRNG(42)
+	const n = 40
+	tr := &trace.Trace{Name: "pure-exp", N: n, Duration: 12 * 86400}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() > 0.7 {
+				continue
+			}
+			rate := stats.Gamma(rng, 0.8, (8.0/86400)/0.8)
+			if rate <= 0 {
+				continue
+			}
+			at := stats.Exp(rng, rate) * rng.Float64()
+			for at < tr.Duration {
+				end := at + 180
+				if end > tr.Duration {
+					end = tr.Duration
+				}
+				tr.Contacts = append(tr.Contacts, trace.Contact{A: trace.NodeID(a), B: trace.NodeID(b), Start: at, End: end})
+				at = end + stats.Exp(rng, rate)
+			}
+		}
+	}
+	tr.Normalize()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

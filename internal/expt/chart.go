@@ -1,0 +1,182 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// seriesMarkers are assigned to data series in column order.
+var seriesMarkers = []rune{'*', 'o', '#', '+', 'x', '@', '%', '~'}
+
+// Chart renders a numeric table (first column = x-axis, remaining columns
+// = series) as an ASCII line chart with the given plot-area size. It
+// returns an error when the table is not chartable (non-numeric cells or
+// fewer than two rows).
+func (t *Table) Chart(width, height int) (string, error) {
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("expt: chart area %dx%d too small", width, height)
+	}
+	if len(t.Rows) < 2 || len(t.Header) < 2 {
+		return "", fmt.Errorf("expt: table %q is not chartable (%d rows, %d cols)", t.Title, len(t.Rows), len(t.Header))
+	}
+
+	xs := make([]float64, len(t.Rows))
+	series := make([][]float64, len(t.Header)-1)
+	for s := range series {
+		series[s] = make([]float64, len(t.Rows))
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return "", fmt.Errorf("expt: ragged row %d", i)
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return "", fmt.Errorf("expt: non-numeric x %q", row[0])
+		}
+		xs[i] = x
+		for s := 0; s < len(series); s++ {
+			v, err := strconv.ParseFloat(row[s+1], 64)
+			if err != nil {
+				return "", fmt.Errorf("expt: non-numeric cell %q", row[s+1])
+			}
+			series[s][i] = v
+		}
+	}
+
+	xMin, xMax := minMax(xs)
+	var all []float64
+	for _, s := range series {
+		all = append(all, s...)
+	}
+	yMin, yMax := minMax(all)
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		return clampInt(c, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		return clampInt(r, 0, height-1)
+	}
+
+	for s := range series {
+		marker := seriesMarkers[s%len(seriesMarkers)]
+		// Connect consecutive points with interpolated steps so sparse
+		// sweeps still read as lines.
+		for i := 0; i+1 < len(xs); i++ {
+			c0, c1 := toCol(xs[i]), toCol(xs[i+1])
+			y0, y1 := series[s][i], series[s][i+1]
+			steps := c1 - c0
+			if steps < 1 {
+				steps = 1
+			}
+			for st := 0; st <= steps; st++ {
+				frac := float64(st) / float64(steps)
+				col := c0 + st
+				row := toRow(y0 + (y1-y0)*frac)
+				grid[row][clampInt(col, 0, width-1)] = marker
+			}
+		}
+		// Make sure actual data points win over interpolation overlap.
+		for i := range xs {
+			grid[toRow(series[s][i])][toCol(xs[i])] = marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	yLabel := func(y float64) string { return fmt.Sprintf("%8.3g", y) }
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			b.WriteString(yLabel(yMax))
+		case height - 1:
+			b.WriteString(yLabel(yMin))
+		case (height - 1) / 2:
+			b.WriteString(yLabel((yMax + yMin) / 2))
+		default:
+			b.WriteString(strings.Repeat(" ", 8))
+		}
+		b.WriteString(" |")
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	left := fmt.Sprintf("%-10.4g", xMin)
+	right := fmt.Sprintf("%10.4g", xMax)
+	mid := fmt.Sprintf("%g", (xMin+xMax)/2)
+	pad := width - len(left) - len(right) - len(mid)
+	if pad < 0 {
+		pad = 0
+	}
+	lpad := pad / 2
+	fmt.Fprintf(&b, "%s%s%s%s%s   (x: %s)\n",
+		strings.Repeat(" ", 10), left, strings.Repeat(" ", lpad)+mid+strings.Repeat(" ", pad-lpad), right, "", t.Header[0])
+
+	// Legend.
+	b.WriteString("          ")
+	for s := 1; s < len(t.Header); s++ {
+		if s > 1 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", seriesMarkers[(s-1)%len(seriesMarkers)], t.Header[s])
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// Chartable reports whether Chart would succeed for this table.
+func (t *Table) Chartable() bool {
+	if len(t.Rows) < 2 || len(t.Header) < 2 {
+		return false
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return false
+		}
+		for _, cell := range row {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

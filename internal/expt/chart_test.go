@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartableTable() *Table {
+	t := &Table{ID: "X", Title: "demo chart", Header: []string{"x", "a", "b"}}
+	t.AddRow(0.0, 0.1, 0.9)
+	t.AddRow(1.0, 0.3, 0.7)
+	t.AddRow(2.0, 0.5, 0.5)
+	t.AddRow(3.0, 0.7, 0.3)
+	return t
+}
+
+func TestChartRenders(t *testing.T) {
+	tab := chartableTable()
+	out, err := tab.Chart(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing series markers:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "(x: x)") {
+		t.Fatalf("missing x-axis label:\n%s", out)
+	}
+	// Every line of the plot area fits the width budget (8 label + " |" +
+	// width).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && len([]rune(line)) > 8+2+40 {
+			t.Fatalf("plot line too long: %q", line)
+		}
+	}
+}
+
+func TestChartSeriesPositions(t *testing.T) {
+	// A single increasing series: the marker in the top row must be at
+	// the right edge, the one in the bottom row at the left edge.
+	tab := &Table{Title: "inc", Header: []string{"x", "y"}}
+	tab.AddRow(0.0, 0.0)
+	tab.AddRow(1.0, 1.0)
+	out, err := tab.Chart(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	var plot []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plot = append(plot, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(plot) != 5 {
+		t.Fatalf("plot rows = %d", len(plot))
+	}
+	top, bottom := plot[0], plot[4]
+	if !strings.Contains(top, "*") || strings.Index(top, "*") < 15 {
+		t.Fatalf("top-row marker misplaced: %q", top)
+	}
+	if !strings.Contains(bottom, "*") || strings.Index(bottom, "*") > 4 {
+		t.Fatalf("bottom-row marker misplaced: %q", bottom)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	tab := chartableTable()
+	if _, err := tab.Chart(4, 2); err == nil {
+		t.Fatal("tiny area accepted")
+	}
+	one := &Table{Header: []string{"x", "y"}}
+	one.AddRow(1.0, 2.0)
+	if _, err := one.Chart(40, 10); err == nil {
+		t.Fatal("single-row table accepted")
+	}
+	text := &Table{Header: []string{"x", "y"}}
+	text.AddRow("a", 1.0)
+	text.AddRow("b", 2.0)
+	if _, err := text.Chart(40, 10); err == nil {
+		t.Fatal("non-numeric table accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	tab := &Table{Title: "flat", Header: []string{"x", "y"}}
+	tab.AddRow(0.0, 0.5)
+	tab.AddRow(1.0, 0.5)
+	out, err := tab.Chart(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestChartable(t *testing.T) {
+	if !chartableTable().Chartable() {
+		t.Fatal("numeric table not chartable")
+	}
+	text := &Table{Header: []string{"x", "y"}}
+	text.AddRow("a", 1.0)
+	text.AddRow("b", 2.0)
+	if text.Chartable() {
+		t.Fatal("text table chartable")
+	}
+	if (&Table{Header: []string{"x", "y"}}).Chartable() {
+		t.Fatal("empty table chartable")
+	}
+}

@@ -1,0 +1,447 @@
+package expt
+
+import (
+	"fmt"
+
+	"freshcache/internal/core"
+	"freshcache/internal/mobility"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives trace generation and workloads.
+	Seed int64
+	// Quick trims sweeps to a couple of points (used by the benchmark
+	// harness and smoke tests); the full sweep reproduces the evaluation.
+	Quick bool
+}
+
+// Experiment is one reproducible unit of the evaluation: it regenerates
+// the data behind one table or figure.
+type Experiment struct {
+	ID            string
+	Title         string
+	PaperAnalogue string
+	Run           func(opts Options) ([]*Table, error)
+}
+
+// figureSchemes are the protocols shown in the figures, in reporting
+// order. The ablation variants appear separately in E9.
+func figureSchemes() []string {
+	return []string{"norefresh", "direct", "hierarchical-norep", "hierarchical", "epidemic"}
+}
+
+// presets returns the evaluation traces, possibly trimmed by Quick.
+func presets(opts Options) []string {
+	if opts.Quick {
+		return []string{"infocom-like"}
+	}
+	return []string{"reality-like", "infocom-like"}
+}
+
+// genTrace generates one preset trace for the experiment's seed.
+func genTrace(preset string, seed int64) (*trace.Trace, error) {
+	g, err := mobility.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(seed)
+}
+
+// refreshSweep returns the refresh-interval sweep appropriate for a
+// trace's density (the paper picks trace-appropriate ranges too).
+func refreshSweep(preset string, quick bool) []float64 {
+	var hours []float64
+	switch preset {
+	case "reality-like":
+		hours = []float64{2, 4, 8, 16, 24}
+	default: // infocom-like: a 4-day dense trace
+		hours = []float64{1, 2, 4, 8}
+	}
+	if quick {
+		hours = hours[:2]
+	}
+	out := make([]float64, len(hours))
+	for i, h := range hours {
+		out[i] = h * mobility.Hour
+	}
+	return out
+}
+
+// All returns the full experiment registry in ID order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Trace summary statistics", PaperAnalogue: "Table 1", Run: runE1},
+		{ID: "E2", Title: "Cache freshness ratio vs refresh interval", PaperAnalogue: "freshness figure", Run: runE2},
+		{ID: "E3", Title: "Validity of data access vs query rate", PaperAnalogue: "data-access figure", Run: runE3},
+		{ID: "E4", Title: "Freshness vs number of caching nodes", PaperAnalogue: "caching-nodes figure", Run: runE4},
+		{ID: "E5", Title: "Refresh overhead per generated version", PaperAnalogue: "overhead figure", Run: runE5},
+		{ID: "E6", Title: "Refresh delay CDF", PaperAnalogue: "delay figure", Run: runE6},
+		{ID: "E7", Title: "Probabilistic replication: analysis vs measurement", PaperAnalogue: "analysis validation", Run: runE7},
+		{ID: "E8", Title: "Impact of the freshness requirement window", PaperAnalogue: "requirement figure", Run: runE8},
+		{ID: "E9", Title: "Ablation: hierarchy and replication in isolation", PaperAnalogue: "design discussion", Run: runE9},
+		{ID: "E10", Title: "Scalability with network size", PaperAnalogue: "methodology", Run: runE10},
+		{ID: "E11", Title: "Robustness to churn and message loss", PaperAnalogue: "extension", Run: runE11},
+		{ID: "E12", Title: "Oracle vs distributed rate knowledge", PaperAnalogue: "extension", Run: runE12},
+		{ID: "E13", Title: "Extended baseline panel (spray, random relays)", PaperAnalogue: "extension", Run: runE13},
+		{ID: "E14", Title: "Adapting to mobility drift via periodic rebuild", PaperAnalogue: "extension", Run: runE14},
+		{ID: "E15", Title: "Caching-node placement policies", PaperAnalogue: "extension", Run: runE15},
+		{ID: "E16", Title: "Impact of cache capacity", PaperAnalogue: "extension", Run: runE16},
+		{ID: "E17", Title: "Analytical forecast vs measurement", PaperAnalogue: "analysis validation (k-hop)", Run: runE17},
+		{ID: "E18", Title: "Query delegation: relayed data access", PaperAnalogue: "extension", Run: runE18},
+		{ID: "E19", Title: "Cache freshness over time", PaperAnalogue: "freshness time-series figure", Run: runE19},
+		{ID: "E20", Title: "Hierarchy fan-out ablation", PaperAnalogue: "design-choice ablation", Run: runE20},
+	}
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("expt: unknown experiment %q", id)
+}
+
+func runE1(opts Options) ([]*Table, error) {
+	t := &Table{
+		ID: "E1", Title: "Trace summary statistics",
+		Header: []string{"trace", "nodes", "hours", "contacts", "meetingPairs", "pairCoverage", "contacts/pair", "meanPairRate(1/day)", "meanContactDur(s)", "expFitKS"},
+	}
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s := tr.ComputeStats()
+		var gaps []float64
+		for _, g := range tr.InterContactTimes() {
+			gaps = append(gaps, g...)
+		}
+		ks, err := stats.ExpFitKS(gaps)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.Name, s.Nodes, s.DurationHours, s.Contacts, s.MeetingPairs,
+			s.PairCoverage, s.ContactsPerPair, s.MeanPairRate*mobility.Day, s.MeanContactDur, ks)
+	}
+	return []*Table{t}, nil
+}
+
+func runE2(opts Options) ([]*Table, error) {
+	var tables []*Table
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID: "E2", Title: "Freshness ratio vs refresh interval — " + preset,
+			Header: append([]string{"refresh(h)"}, figureSchemes()...),
+		}
+		for _, r := range refreshSweep(preset, opts.Quick) {
+			row := []any{r / mobility.Hour}
+			for _, name := range figureSchemes() {
+				sc := defaultScenario(preset, opts.Seed)
+				sc.RefreshInterval = r
+				scheme, err := core.SchemeByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, _, err := sc.RunOnTrace(scheme, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.FreshnessRatio)
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE3(opts Options) ([]*Table, error) {
+	ratesPerDay := []float64{1, 2, 4, 8}
+	if opts.Quick {
+		ratesPerDay = ratesPerDay[:2]
+	}
+	var tables []*Table
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID: "E3", Title: "Valid-access ratio vs per-node query rate — " + preset,
+			Header: append([]string{"queries/day"}, figureSchemes()...),
+		}
+		for _, q := range ratesPerDay {
+			row := []any{q}
+			for _, name := range figureSchemes() {
+				sc := defaultScenario(preset, opts.Seed)
+				sc.QueryRate = q / mobility.Day
+				// Data is useful for exactly one refresh interval, so the
+				// figure isolates how well each scheme keeps the *current*
+				// version available (the default 2×R lifetime saturates on
+				// the dense trace).
+				sc.Lifetime = sc.RefreshInterval
+				scheme, err := core.SchemeByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, _, err := sc.RunOnTrace(scheme, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.ValidAccessRate)
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE4(opts Options) ([]*Table, error) {
+	ks := []int{2, 4, 8, 12, 16}
+	if opts.Quick {
+		ks = ks[:2]
+	}
+	var tables []*Table
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID: "E4", Title: "Freshness ratio vs number of caching nodes — " + preset,
+			Header: append([]string{"cachingNodes"}, figureSchemes()...),
+		}
+		for _, k := range ks {
+			row := []any{k}
+			for _, name := range figureSchemes() {
+				sc := defaultScenario(preset, opts.Seed)
+				sc.NumCachingNodes = k
+				scheme, err := core.SchemeByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, _, err := sc.RunOnTrace(scheme, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.FreshnessRatio)
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE5(opts Options) ([]*Table, error) {
+	t := &Table{
+		ID: "E5", Title: "Refresh overhead per generated version",
+		Header: []string{"trace", "scheme", "tx/version", "refreshTx", "relayTx", "sourceTxShare", "maxNodeShare", "loadGini", "freshness"},
+	}
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range figureSchemes() {
+			sc := defaultScenario(preset, opts.Seed)
+			scheme, err := core.SchemeByName(name)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := sc.RunOnTrace(scheme, tr)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(preset, name, res.TxPerVersion,
+				res.TransmissionsByKind["refresh"], res.TransmissionsByKind["relay"],
+				res.SourceTxShare, res.MaxNodeTxShare, res.LoadGini, res.FreshnessRatio)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runE6(opts Options) ([]*Table, error) {
+	schemes := []string{"direct", "hierarchical-norep", "hierarchical", "epidemic"}
+	var tables []*Table
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc := defaultScenario(preset, opts.Seed)
+		sc = sc.withDefaults()
+		window := sc.FreshnessWindow
+		fractions := []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4}
+		probes := make([]float64, len(fractions))
+		for i, f := range fractions {
+			probes[i] = f * window
+		}
+		t := &Table{
+			ID: "E6", Title: "Refresh delay CDF (delay in freshness windows) — " + preset,
+			Header: append([]string{"delay/window"}, schemes...),
+		}
+		cols := make([][]float64, len(schemes))
+		for i, name := range schemes {
+			scheme, err := core.SchemeByName(name)
+			if err != nil {
+				return nil, err
+			}
+			_, eng, err := sc.RunOnTrace(scheme, tr)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = eng.Collector().DelayCDF(probes)
+		}
+		for pi, f := range fractions {
+			row := []any{f}
+			for i := range schemes {
+				row = append(row, cols[i][pi])
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE7(opts Options) ([]*Table, error) {
+	preqs := []float64{0.5, 0.7, 0.8, 0.9, 0.95}
+	if opts.Quick {
+		preqs = preqs[:2]
+	}
+	var tables []*Table
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID: "E7", Title: "Replication analysis vs measured on-time delivery — " + preset,
+			Header: []string{"pReq", "analyticMeanProb", "plansSatisfied", "measuredFirstOnTime", "relayTx/version"},
+		}
+		for _, p := range preqs {
+			sc := defaultScenario(preset, opts.Seed)
+			sc.PReq = p
+			res, eng, err := sc.RunOnTrace(core.NewHierarchical(), tr)
+			if err != nil {
+				return nil, err
+			}
+			relayPerVer := 0.0
+			if res.VersionsGenerated > 0 {
+				relayPerVer = float64(res.TransmissionsByKind["relay"]) / float64(res.VersionsGenerated)
+			}
+			t.AddRow(p, res.SchemeStats["meanAchievedProb"], res.SchemeStats["satisfiedRatio"],
+				eng.Collector().FirstDeliveryOnTimeRatio(), relayPerVer)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE8(opts Options) ([]*Table, error) {
+	factors := []float64{0.5, 1, 2, 3}
+	if opts.Quick {
+		factors = factors[:2]
+	}
+	schemes := []string{"direct", "hierarchical", "epidemic"}
+	var tables []*Table
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID: "E8", Title: "On-time delivery ratio vs freshness window (in refresh intervals) — " + preset,
+			Header: append([]string{"window/R"}, schemes...),
+		}
+		for _, f := range factors {
+			row := []any{f}
+			for _, name := range schemes {
+				sc := defaultScenario(preset, opts.Seed)
+				sc.FreshnessWindow = f * sc.RefreshInterval
+				scheme, err := core.SchemeByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, _, err := sc.RunOnTrace(scheme, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.OnTimeRatio)
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE9(opts Options) ([]*Table, error) {
+	t := &Table{
+		ID: "E9", Title: "Ablation: contribution of hierarchy and replication",
+		Header: []string{"trace", "scheme", "freshness", "tx/version", "sourceTxShare", "meanDelay(h)"},
+	}
+	schemes := []string{"direct", "direct-rep", "hierarchical-norep", "hierarchical"}
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range schemes {
+			sc := defaultScenario(preset, opts.Seed)
+			scheme, err := core.SchemeByName(name)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := sc.RunOnTrace(scheme, tr)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(preset, name, res.FreshnessRatio, res.TxPerVersion,
+				res.SourceTxShare, res.MeanRefreshDelay/mobility.Hour)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runE10(opts Options) ([]*Table, error) {
+	sizes := []int{50, 100, 200, 400}
+	if opts.Quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID: "E10", Title: "Scalability with network size (hierarchical scheme)",
+		Header: []string{"nodes", "contacts", "events", "wallClock(s)", "freshness", "tx/version"},
+	}
+	for _, n := range sizes {
+		g := &mobility.Community{
+			TraceName: fmt.Sprintf("scale-%d", n), N: n, Duration: 10 * mobility.Day,
+			Communities: n / 12, IntraRate: 8.0 / mobility.Day, InterRate: 0.5 / mobility.Day,
+			RateShape: 0.8, InterPairFraction: 0.3, HubFraction: 0.08, HubBoost: 3,
+			MeanContactDur: 120,
+		}
+		tr, err := g.Generate(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc := defaultScenario("reality-like", opts.Seed) // preset field unused by RunOnTrace
+		res, _, err := sc.RunOnTrace(core.NewHierarchical(), tr)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, len(tr.Contacts), int(res.SimulatedEventCount), res.WallClockSeconds,
+			res.FreshnessRatio, res.TxPerVersion)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,602 @@
+package expt
+
+import (
+	"freshcache/internal/cache"
+	"freshcache/internal/centrality"
+	"freshcache/internal/core"
+	"freshcache/internal/metrics"
+	"freshcache/internal/mobility"
+	"freshcache/internal/network"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// The extension experiments (E11…E13) go beyond the paper's evaluation:
+// robustness to churn and message loss, the cost of realistic
+// (distributed) contact-rate knowledge, and the extended baseline panel.
+// They run each point over several seeds and report mean ± 95% CI, since
+// failure injection adds variance.
+
+// replicas is the number of seeds per point in the extension experiments.
+func replicas(opts Options) int {
+	if opts.Quick {
+		return 2
+	}
+	return 3
+}
+
+// meanCI runs f over `n` consecutive seeds and returns the sample mean and
+// 95% confidence half-width of the extracted metric.
+func meanCI(n int, base int64, f func(seed int64) (float64, error)) (float64, float64, error) {
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := f(base + int64(i))
+		if err != nil {
+			return 0, 0, err
+		}
+		xs = append(xs, v)
+	}
+	return stats.Mean(xs), stats.CI95(xs), nil
+}
+
+// extScenario builds the mid-size community scenario used by the
+// extension experiments (smaller than the presets so multi-seed sweeps
+// stay fast, but structurally identical).
+func extScenario(seed int64) (Scenario, *trace.Trace, error) {
+	g := &mobility.Community{
+		TraceName: "ext-community", N: 40, Duration: 12 * mobility.Day, Communities: 4,
+		IntraRate: 8.0 / mobility.Day, InterRate: 1.0 / mobility.Day, RateShape: 0.8,
+		InterPairFraction: 0.7, HubFraction: 0.1, HubBoost: 3, MeanContactDur: 180,
+	}
+	tr, err := g.Generate(seed)
+	if err != nil {
+		return Scenario{}, nil, err
+	}
+	sc := Scenario{
+		TracePreset:     "ext-community",
+		NumItems:        3,
+		RefreshInterval: 4 * mobility.Hour,
+		NumCachingNodes: 6,
+		QueryRate:       1.0 / (2 * mobility.Hour),
+		Seed:            seed,
+	}
+	return sc, tr, nil
+}
+
+// runExt runs the extension scenario once with config tweaks.
+func runExt(seed int64, schemeName string, mutate func(*core.Config)) (metrics.Result, error) {
+	sc, tr, err := extScenario(seed)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	sc = sc.withDefaults()
+	cat, err := sc.buildCatalog()
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	scheme, err := core.SchemeByName(schemeName)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	cfg := core.Config{
+		Trace:           tr,
+		Catalog:         cat,
+		Scheme:          scheme,
+		NumCachingNodes: sc.NumCachingNodes,
+		PReq:            sc.PReq,
+		Seed:            seed,
+		Workload:        cache.WorkloadConfig{QueryRate: sc.QueryRate, ZipfExponent: 1.0},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return eng.Run()
+}
+
+func runE11(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	schemes := []string{"direct", "hierarchical", "epidemic"}
+
+	churnTable := &Table{
+		ID: "E11", Title: "Freshness under node churn (duty cycle sweep, mean ± CI95 over seeds)",
+		Header: []string{"dutyCycle", "direct", "hierarchical", "epidemic", "hierCI95"},
+	}
+	type churnPoint struct {
+		duty     float64
+		up, down float64
+	}
+	points := []churnPoint{
+		{1.0, 0, 0},
+		{0.75, 18 * mobility.Hour, 6 * mobility.Hour},
+		{0.5, 6 * mobility.Hour, 6 * mobility.Hour},
+		{0.25, 2 * mobility.Hour, 6 * mobility.Hour},
+	}
+	if opts.Quick {
+		points = points[:2]
+	}
+	for _, p := range points {
+		row := []any{p.duty}
+		var hierCI float64
+		for _, name := range schemes {
+			name := name
+			p := p
+			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+				res, err := runExt(seed, name, func(c *core.Config) {
+					if p.up > 0 {
+						c.Churn = network.ChurnConfig{MeanUp: p.up, MeanDown: p.down}
+					}
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.FreshnessRatio, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, mean)
+			if name == "hierarchical" {
+				hierCI = ci
+			}
+		}
+		row = append(row, hierCI)
+		churnTable.AddRow(row...)
+	}
+
+	lossTable := &Table{
+		ID: "E11", Title: "Freshness under message loss (mean ± CI95 over seeds)",
+		Header: []string{"dropProb", "direct", "hierarchical", "epidemic", "hierCI95"},
+	}
+	drops := []float64{0, 0.1, 0.3, 0.5}
+	if opts.Quick {
+		drops = drops[:2]
+	}
+	for _, drop := range drops {
+		row := []any{drop}
+		var hierCI float64
+		for _, name := range schemes {
+			name := name
+			drop := drop
+			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+				res, err := runExt(seed, name, func(c *core.Config) { c.DropProb = drop })
+				if err != nil {
+					return 0, err
+				}
+				return res.FreshnessRatio, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, mean)
+			if name == "hierarchical" {
+				hierCI = ci
+			}
+		}
+		row = append(row, hierCI)
+		lossTable.AddRow(row...)
+	}
+	return []*Table{churnTable, lossTable}, nil
+}
+
+func runE12(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E12", Title: "Cost of realistic knowledge: oracle vs distributed rate estimates (mean over seeds)",
+		Header: []string{"scheme", "knowledge", "freshness", "freshCI95", "tx/version", "onTime"},
+	}
+	for _, name := range []string{"direct-rep", "hierarchical"} {
+		for _, mode := range []struct {
+			label string
+			k     core.KnowledgeMode
+		}{
+			{"oracle", core.KnowledgeOracle},
+			{"distributed", core.KnowledgeDistributed},
+		} {
+			name := name
+			mode := mode
+			var txSum, onTimeSum float64
+			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+				res, err := runExt(seed, name, func(c *core.Config) { c.Knowledge = mode.k })
+				if err != nil {
+					return 0, err
+				}
+				txSum += res.TxPerVersion
+				onTimeSum += res.OnTimeRatio
+				return res.FreshnessRatio, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, mode.label, mean, ci, txSum/float64(n), onTimeSum/float64(n))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runE13(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E13", Title: "Extended baseline panel (mean over seeds)",
+		Header: []string{"scheme", "freshness", "freshCI95", "validAccess", "tx/version", "sourceTxShare"},
+	}
+	names := []string{"norefresh", "direct", "direct-rep", "spray", "random-rep", "hierarchical-norep", "hierarchical", "epidemic"}
+	if opts.Quick {
+		names = []string{"direct", "spray", "hierarchical"}
+	}
+	for _, name := range names {
+		name := name
+		var validSum, txSum, shareSum float64
+		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+			res, err := runExt(seed, name, nil)
+			if err != nil {
+				return 0, err
+			}
+			validSum += res.ValidAccessRate
+			txSum += res.TxPerVersion
+			shareSum += res.SourceTxShare
+			return res.FreshnessRatio, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, mean, ci, validSum/float64(n), txSum/float64(n), shareSum/float64(n))
+	}
+	return []*Table{t}, nil
+}
+
+func runE14(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E14", Title: "Adapting to mobility drift: periodic hierarchy rebuild (mean ± CI95 over seeds)",
+		Header: []string{"rebuildInterval(days)", "freshness", "freshCI95", "tx/version"},
+	}
+	intervals := []float64{0, 4, 2, 1}
+	if opts.Quick {
+		intervals = intervals[:2]
+	}
+	for _, days := range intervals {
+		days := days
+		var txSum float64
+		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+			tr, err := mobility.DriftingCommunity(40, 8*mobility.Day).Generate(seed)
+			if err != nil {
+				return 0, err
+			}
+			sc, _, err := extScenario(seed)
+			if err != nil {
+				return 0, err
+			}
+			sc = sc.withDefaults()
+			cat, err := sc.buildCatalog()
+			if err != nil {
+				return 0, err
+			}
+			eng, err := core.NewEngine(core.Config{
+				Trace:           tr,
+				Catalog:         cat,
+				Scheme:          core.NewHierarchical(),
+				NumCachingNodes: sc.NumCachingNodes,
+				WarmupFraction:  0.25,
+				RebuildInterval: days * mobility.Day,
+				Seed:            seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return 0, err
+			}
+			txSum += res.TxPerVersion
+			return res.FreshnessRatio, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := days
+		t.AddRow(label, mean, ci, txSum/float64(n))
+	}
+	return []*Table{t}, nil
+}
+
+func runE15(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E15", Title: "Caching-node placement policies (mean ± CI95 over seeds)",
+		Header: []string{"placement", "scheme", "freshness", "freshCI95", "validAccess"},
+	}
+	placements := []centrality.Placement{
+		centrality.PlaceRandom, centrality.PlaceTopCentrality, centrality.PlaceGreedyCoverage,
+	}
+	for _, p := range placements {
+		for _, name := range []string{"direct", "hierarchical"} {
+			p := p
+			name := name
+			var validSum float64
+			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+				res, err := runExt(seed, name, func(c *core.Config) { c.Placement = p })
+				if err != nil {
+					return 0, err
+				}
+				validSum += res.ValidAccessRate
+				return res.FreshnessRatio, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(p.String(), name, mean, ci, validSum/float64(n))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runE16(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E16", Title: "Impact of cache capacity and eviction policy (20 items, Zipf queries; mean over seeds)",
+		Header: []string{"capacity(items)", "policy", "freshness", "validAccess", "answered"},
+	}
+	caps := []int{2, 5, 10, 20}
+	if opts.Quick {
+		caps = caps[:2]
+	}
+	for _, capacity := range caps {
+		for _, policy := range []cache.Policy{cache.EvictLRU, cache.EvictLFU} {
+			capacity := capacity
+			policy := policy
+			var validSum, answeredSum float64
+			mean, _, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+				sc, tr, err := extScenario(seed)
+				if err != nil {
+					return 0, err
+				}
+				sc.NumItems = 20
+				sc = sc.withDefaults()
+				cat, err := sc.buildCatalog()
+				if err != nil {
+					return 0, err
+				}
+				eng, err := core.NewEngine(core.Config{
+					Trace:           tr,
+					Catalog:         cat,
+					Scheme:          core.NewHierarchical(),
+					NumCachingNodes: sc.NumCachingNodes,
+					CacheCapacity:   capacity,
+					CachePolicy:     policy,
+					Seed:            seed,
+					Workload:        cache.WorkloadConfig{QueryRate: sc.QueryRate, ZipfExponent: 1.0},
+				})
+				if err != nil {
+					return 0, err
+				}
+				res, err := eng.Run()
+				if err != nil {
+					return 0, err
+				}
+				validSum += res.ValidAccessRate
+				answeredSum += res.AnsweredOK
+				return res.FreshnessRatio, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(capacity, policy.String(), mean, validSum/float64(n), answeredSum/float64(n))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runE17(opts Options) ([]*Table, error) {
+	t := &Table{
+		ID: "E17", Title: "Analytical tree forecast vs measured on-time delivery (relay-free hierarchy)",
+		Header: []string{"trace", "predictedOnTime", "measuredOnTime", "absGap"},
+	}
+	for _, preset := range presets(opts) {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc := defaultScenario(preset, opts.Seed)
+		sc = sc.withDefaults()
+		// Long refresh interval relative to delays keeps delivery
+		// censoring (the analysis conditions on delivery) small.
+		sc.RefreshInterval = 24 * mobility.Hour
+		sc.FreshnessWindow = 6 * mobility.Hour
+		sc.Lifetime = 96 * mobility.Hour
+		sc.QueryRate = 0
+		cat, err := sc.buildCatalog()
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(core.Config{
+			Trace:           tr,
+			Catalog:         cat,
+			Scheme:          core.NewHierarchicalBare(),
+			NumCachingNodes: sc.NumCachingNodes,
+			Seed:            opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Run(); err != nil {
+			return nil, err
+		}
+		rt := eng.Runtime()
+
+		var sum float64
+		count := 0
+		for _, it := range rt.Catalog.Items() {
+			// Reconstruct the (deterministic) tree the scheme built.
+			tree, err := core.BuildTree(rt.Rates, it.Source, rt.CachingNodes, rt.MaxFanout)
+			if err != nil {
+				return nil, err
+			}
+			onTime, err := core.AnalyzeTree(tree, rt.Rates, it.FreshnessWindow)
+			if err != nil {
+				return nil, err
+			}
+			delivered, err := core.AnalyzeTree(tree, rt.Rates, it.Lifetime)
+			if err != nil {
+				return nil, err
+			}
+			for i := range onTime.Nodes {
+				if d := delivered.Nodes[i].OnTime; d > 0 {
+					sum += onTime.Nodes[i].OnTime / d
+					count++
+				}
+			}
+		}
+		predicted := 0.0
+		if count > 0 {
+			predicted = sum / float64(count)
+		}
+		measured := eng.Collector().FirstDeliveryOnTimeRatio()
+		gap := predicted - measured
+		if gap < 0 {
+			gap = -gap
+		}
+		t.AddRow(preset, predicted, measured, gap)
+	}
+	return []*Table{t}, nil
+}
+
+func runE18(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E18", Title: "Query delegation: relayed access path (mean over seeds)",
+		Header: []string{"scheme", "queryRelays", "answered", "validAccess", "accessDelay(h)", "queryTx/query"},
+	}
+	relayCounts := []int{0, 1, 3}
+	if opts.Quick {
+		relayCounts = relayCounts[:2]
+	}
+	for _, name := range []string{"direct", "hierarchical"} {
+		for _, relays := range relayCounts {
+			name := name
+			relays := relays
+			var answeredSum, validSum, delaySum, qtxSum float64
+			_, _, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+				res, err := runExt(seed, name, func(c *core.Config) { c.QueryRelays = relays })
+				if err != nil {
+					return 0, err
+				}
+				answeredSum += res.AnsweredOK
+				validSum += res.ValidAccessRate
+				delaySum += res.MeanAccessDelaySec / mobility.Hour
+				if res.Queries > 0 {
+					qtxSum += float64(res.TransmissionsByKind["query"]) / float64(res.Queries)
+				}
+				return res.AnsweredOK, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			nf := float64(n)
+			t.AddRow(name, relays, answeredSum/nf, validSum/nf, delaySum/nf, qtxSum/nf)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func runE19(opts Options) ([]*Table, error) {
+	var tables []*Table
+	presetsHere := presets(opts)
+	for _, preset := range presetsHere {
+		tr, err := genTrace(preset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		schemes := []string{"norefresh", "direct", "hierarchical", "epidemic"}
+		t := &Table{
+			ID: "E19", Title: "Cache freshness ratio over time — " + preset,
+			Header: append([]string{"t(days into measurement)"}, schemes...),
+		}
+		// One run per scheme; re-bucket the freshness samples into a
+		// shared day grid.
+		type series struct {
+			times  []float64
+			ratios []float64
+		}
+		all := make([]series, len(schemes))
+		var epoch float64
+		for i, name := range schemes {
+			sc := defaultScenario(preset, opts.Seed)
+			scheme, err := core.SchemeByName(name)
+			if err != nil {
+				return nil, err
+			}
+			_, eng, err := sc.RunOnTrace(scheme, tr)
+			if err != nil {
+				return nil, err
+			}
+			epoch = eng.Runtime().Epoch
+			for _, smp := range eng.Collector().Samples() {
+				all[i].times = append(all[i].times, smp.Time)
+				all[i].ratios = append(all[i].ratios, smp.Ratio)
+			}
+		}
+		// Daily buckets over the measurement phase.
+		horizon := tr.Duration
+		bucket := mobility.Day
+		if horizon-epoch < 6*mobility.Day {
+			bucket = mobility.Hour * 12
+		}
+		for start := epoch; start < horizon; start += bucket {
+			row := []any{(start - epoch) / mobility.Day}
+			for i := range schemes {
+				var sum float64
+				count := 0
+				for j, tt := range all[i].times {
+					if tt >= start && tt < start+bucket {
+						sum += all[i].ratios[j]
+						count++
+					}
+				}
+				if count > 0 {
+					row = append(row, sum/float64(count))
+				} else {
+					row = append(row, 0.0)
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runE20(opts Options) ([]*Table, error) {
+	n := replicas(opts)
+	t := &Table{
+		ID: "E20", Title: "Hierarchy fan-out bound ablation (mean over seeds)",
+		Header: []string{"maxFanout", "freshness", "freshCI95", "tx/version", "sourceTxShare", "meanTreeDepth"},
+	}
+	fanouts := []int{1, 2, 3, 5, 8}
+	if opts.Quick {
+		fanouts = fanouts[:2]
+	}
+	for _, fanout := range fanouts {
+		fanout := fanout
+		var txSum, shareSum, depthSum float64
+		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
+			res, err := runExt(seed, "hierarchical", func(c *core.Config) { c.MaxFanout = fanout })
+			if err != nil {
+				return 0, err
+			}
+			txSum += res.TxPerVersion
+			shareSum += res.SourceTxShare
+			depthSum += res.SchemeStats["meanTreeDepth"]
+			return res.FreshnessRatio, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		nf := float64(n)
+		t.AddRow(fanout, mean, ci, txSum/nf, shareSum/nf, depthSum/nf)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,351 @@
+// Package mobility generates synthetic contact traces. It provides the
+// two calibrated presets that stand in for the proprietary real traces the
+// paper evaluates on (MIT Reality, Haggle Infocom'06 — see DESIGN.md,
+// "Substitutions"), plus the general-purpose generators they are built
+// from: a heterogeneous-exponential pairwise model, a community model with
+// hub nodes, and a random-waypoint model on a square field.
+//
+// All generators consume an explicit seed and are fully deterministic.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// Generator produces a contact trace from a seed.
+type Generator interface {
+	// Name identifies the generator configuration in reports.
+	Name() string
+	// Generate builds the trace. Implementations must return a normalized,
+	// Validate-clean trace.
+	Generate(seed int64) (*trace.Trace, error)
+}
+
+// pairProcess emits a Poisson contact process for one pair: contacts with
+// exponential inter-contact times at the given rate and exponential
+// durations with the given mean, clipped to the trace duration.
+func pairProcess(rng *rand.Rand, a, b trace.NodeID, rate, meanDur, duration float64, out *[]trace.Contact) {
+	if rate <= 0 {
+		return
+	}
+	// Random phase: first contact is a full exponential gap from a
+	// uniformly random origin so the process is stationary from t=0.
+	t := stats.Exp(rng, rate) * rng.Float64()
+	for t < duration {
+		d := stats.Exp(rng, 1/meanDur)
+		if d < 1 {
+			d = 1 // contacts shorter than a second are unusable and unrealistic
+		}
+		end := t + d
+		if end > duration {
+			end = duration
+		}
+		if end > t {
+			*out = append(*out, trace.Contact{A: a, B: b, Start: t, End: end})
+		}
+		t += stats.Exp(rng, rate)
+		if t < end {
+			t = end // contacts of one pair cannot overlap
+		}
+	}
+}
+
+// HeterogeneousExp is the baseline analytical model of this paper family:
+// every pair (i,j) meets as a Poisson process with its own rate λij, with
+// the rates drawn from a gamma distribution to produce the heavy
+// heterogeneity observed in real traces.
+type HeterogeneousExp struct {
+	TraceName string
+	N         int
+	Duration  float64 // seconds
+	// MeanRate is the mean pairwise contact rate of meeting pairs (1/s).
+	MeanRate float64
+	// RateShape is the gamma shape for rate heterogeneity; smaller values
+	// give more skew. Typical real-trace fits are well below 1.
+	RateShape float64
+	// PairFraction is the fraction of pairs that ever meet.
+	PairFraction float64
+	// MeanContactDur is the mean contact duration in seconds.
+	MeanContactDur float64
+}
+
+// Name implements Generator.
+func (g *HeterogeneousExp) Name() string { return g.TraceName }
+
+func (g *HeterogeneousExp) validate() error {
+	switch {
+	case g.N < 2:
+		return fmt.Errorf("mobility: need at least 2 nodes, got %d", g.N)
+	case g.Duration <= 0:
+		return fmt.Errorf("mobility: non-positive duration %v", g.Duration)
+	case g.MeanRate <= 0:
+		return fmt.Errorf("mobility: non-positive mean rate %v", g.MeanRate)
+	case g.RateShape <= 0:
+		return fmt.Errorf("mobility: non-positive rate shape %v", g.RateShape)
+	case g.PairFraction <= 0 || g.PairFraction > 1:
+		return fmt.Errorf("mobility: pair fraction %v outside (0,1]", g.PairFraction)
+	case g.MeanContactDur <= 0:
+		return fmt.Errorf("mobility: non-positive contact duration %v", g.MeanContactDur)
+	}
+	return nil
+}
+
+// Generate implements Generator.
+func (g *HeterogeneousExp) Generate(seed int64) (*trace.Trace, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.Derive(seed, "mobility/hetexp/"+g.TraceName)
+	t := &trace.Trace{Name: g.TraceName, N: g.N, Duration: g.Duration}
+	scale := g.MeanRate / g.RateShape
+	for a := 0; a < g.N; a++ {
+		for b := a + 1; b < g.N; b++ {
+			if rng.Float64() >= g.PairFraction {
+				continue
+			}
+			rate := stats.Gamma(rng, g.RateShape, scale)
+			pairProcess(rng, trace.NodeID(a), trace.NodeID(b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
+		}
+	}
+	t.Normalize()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// Community models nodes grouped into communities with frequent
+// intra-community contacts, rare inter-community contacts, and a fraction
+// of socially active "hub" nodes whose rates are boosted — the structure
+// that makes contact-based centrality (and hence NCL selection)
+// meaningful.
+type Community struct {
+	TraceName   string
+	N           int
+	Duration    float64
+	Communities int
+	// IntraRate / InterRate are the mean contact rates for same-community
+	// and cross-community pairs (1/s); both are heterogenized with
+	// RateShape.
+	IntraRate float64
+	InterRate float64
+	RateShape float64
+	// InterPairFraction is the fraction of cross-community pairs that ever
+	// meet (intra-community pairs always meet).
+	InterPairFraction float64
+	// HubFraction of nodes get HubBoost multiplied into all their rates.
+	HubFraction float64
+	HubBoost    float64
+	// MeanContactDur is the mean contact duration in seconds.
+	MeanContactDur float64
+}
+
+// Name implements Generator.
+func (g *Community) Name() string { return g.TraceName }
+
+func (g *Community) validate() error {
+	switch {
+	case g.N < 2:
+		return fmt.Errorf("mobility: need at least 2 nodes, got %d", g.N)
+	case g.Duration <= 0:
+		return fmt.Errorf("mobility: non-positive duration %v", g.Duration)
+	case g.Communities < 1 || g.Communities > g.N:
+		return fmt.Errorf("mobility: %d communities for %d nodes", g.Communities, g.N)
+	case g.IntraRate <= 0 || g.InterRate < 0:
+		return fmt.Errorf("mobility: bad rates intra=%v inter=%v", g.IntraRate, g.InterRate)
+	case g.RateShape <= 0:
+		return fmt.Errorf("mobility: non-positive rate shape %v", g.RateShape)
+	case g.InterPairFraction < 0 || g.InterPairFraction > 1:
+		return fmt.Errorf("mobility: inter pair fraction %v outside [0,1]", g.InterPairFraction)
+	case g.HubFraction < 0 || g.HubFraction > 1:
+		return fmt.Errorf("mobility: hub fraction %v outside [0,1]", g.HubFraction)
+	case g.HubFraction > 0 && g.HubBoost < 1:
+		return fmt.Errorf("mobility: hub boost %v below 1", g.HubBoost)
+	case g.MeanContactDur <= 0:
+		return fmt.Errorf("mobility: non-positive contact duration %v", g.MeanContactDur)
+	}
+	return nil
+}
+
+// Generate implements Generator.
+func (g *Community) Generate(seed int64) (*trace.Trace, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.Derive(seed, "mobility/community/"+g.TraceName)
+	comm := make([]int, g.N)
+	for i := range comm {
+		comm[i] = i % g.Communities
+	}
+	// Shuffle community assignment so node IDs carry no structure.
+	rng.Shuffle(g.N, func(i, j int) { comm[i], comm[j] = comm[j], comm[i] })
+
+	boost := make([]float64, g.N)
+	for i := range boost {
+		boost[i] = 1
+		if rng.Float64() < g.HubFraction {
+			boost[i] = g.HubBoost
+		}
+	}
+
+	t := &trace.Trace{Name: g.TraceName, N: g.N, Duration: g.Duration}
+	for a := 0; a < g.N; a++ {
+		for b := a + 1; b < g.N; b++ {
+			var mean float64
+			if comm[a] == comm[b] {
+				mean = g.IntraRate
+			} else {
+				if rng.Float64() >= g.InterPairFraction {
+					continue
+				}
+				mean = g.InterRate
+			}
+			if mean <= 0 {
+				continue
+			}
+			rate := stats.Gamma(rng, g.RateShape, mean/g.RateShape)
+			// A pair meets more often when either endpoint is a hub; the
+			// geometric mean keeps a hub-hub pair at a single full boost.
+			rate *= math.Sqrt(boost[a] * boost[b])
+			pairProcess(rng, trace.NodeID(a), trace.NodeID(b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
+		}
+	}
+	t.Normalize()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// RandomWaypoint simulates node movement on a square field: each node
+// repeatedly picks a uniform waypoint and speed, walks there, pauses, and
+// repeats. A contact exists while two nodes are within Range. Positions
+// are advanced in Step-second ticks, so contact boundaries are quantized
+// to Step.
+type RandomWaypoint struct {
+	TraceName string
+	N         int
+	Duration  float64
+	Field     float64 // side of the square field (m)
+	Range     float64 // transmission range (m)
+	SpeedMin  float64 // m/s
+	SpeedMax  float64 // m/s
+	PauseMean float64 // s
+	Step      float64 // simulation tick (s)
+}
+
+// Name implements Generator.
+func (g *RandomWaypoint) Name() string { return g.TraceName }
+
+func (g *RandomWaypoint) validate() error {
+	switch {
+	case g.N < 2:
+		return fmt.Errorf("mobility: need at least 2 nodes, got %d", g.N)
+	case g.Duration <= 0 || g.Field <= 0 || g.Range <= 0 || g.Step <= 0:
+		return errors.New("mobility: duration, field, range and step must be positive")
+	case g.SpeedMin <= 0 || g.SpeedMax < g.SpeedMin:
+		return fmt.Errorf("mobility: bad speed range [%v,%v]", g.SpeedMin, g.SpeedMax)
+	case g.PauseMean < 0:
+		return fmt.Errorf("mobility: negative pause %v", g.PauseMean)
+	}
+	return nil
+}
+
+type rwpNode struct {
+	x, y    float64
+	wx, wy  float64 // current waypoint
+	speed   float64
+	pausing float64 // remaining pause time
+}
+
+// Generate implements Generator.
+func (g *RandomWaypoint) Generate(seed int64) (*trace.Trace, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.Derive(seed, "mobility/rwp/"+g.TraceName)
+	nodes := make([]rwpNode, g.N)
+	for i := range nodes {
+		nodes[i] = rwpNode{
+			x: rng.Float64() * g.Field,
+			y: rng.Float64() * g.Field,
+		}
+		g.newWaypoint(rng, &nodes[i])
+	}
+
+	inContact := make(map[int]float64) // pair key -> contact start time
+	t := &trace.Trace{Name: g.TraceName, N: g.N, Duration: g.Duration}
+	r2 := g.Range * g.Range
+	for now := 0.0; now < g.Duration; now += g.Step {
+		for i := range nodes {
+			g.advance(rng, &nodes[i])
+		}
+		for a := 0; a < g.N; a++ {
+			for b := a + 1; b < g.N; b++ {
+				dx := nodes[a].x - nodes[b].x
+				dy := nodes[a].y - nodes[b].y
+				key := trace.PairKey(trace.NodeID(a), trace.NodeID(b), g.N)
+				near := dx*dx+dy*dy <= r2
+				start, was := inContact[key]
+				switch {
+				case near && !was:
+					inContact[key] = now
+				case !near && was:
+					if now > start {
+						t.Contacts = append(t.Contacts, trace.Contact{
+							A: trace.NodeID(a), B: trace.NodeID(b), Start: start, End: now,
+						})
+					}
+					delete(inContact, key)
+				}
+			}
+		}
+	}
+	// Close contacts still open at the horizon.
+	for key, start := range inContact {
+		a := trace.NodeID(key / g.N)
+		b := trace.NodeID(key % g.N)
+		if g.Duration > start {
+			t.Contacts = append(t.Contacts, trace.Contact{A: a, B: b, Start: start, End: g.Duration})
+		}
+	}
+	t.Normalize()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+func (g *RandomWaypoint) newWaypoint(rng *rand.Rand, n *rwpNode) {
+	n.wx = rng.Float64() * g.Field
+	n.wy = rng.Float64() * g.Field
+	n.speed = stats.Uniform(rng, g.SpeedMin, g.SpeedMax)
+}
+
+func (g *RandomWaypoint) advance(rng *rand.Rand, n *rwpNode) {
+	if n.pausing > 0 {
+		n.pausing -= g.Step
+		return
+	}
+	dx := n.wx - n.x
+	dy := n.wy - n.y
+	dist := dx*dx + dy*dy
+	stepLen := n.speed * g.Step
+	if dist <= stepLen*stepLen {
+		n.x, n.y = n.wx, n.wy
+		if g.PauseMean > 0 {
+			n.pausing = stats.Exp(rng, 1/g.PauseMean)
+		}
+		g.newWaypoint(rng, n)
+		return
+	}
+	d := stepLen / math.Sqrt(dist)
+	n.x += dx * d
+	n.y += dy * d
+}

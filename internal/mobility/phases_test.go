@@ -1,0 +1,113 @@
+package mobility
+
+import (
+	"testing"
+)
+
+func TestPhasesConcatenates(t *testing.T) {
+	half := func(name string) Generator {
+		return &HeterogeneousExp{TraceName: name, N: 10, Duration: 2 * Day,
+			MeanRate: 5.0 / Day, RateShape: 1, PairFraction: 1, MeanContactDur: 60}
+	}
+	p := &Phases{TraceName: "p", Segments: []Segment{{Gen: half("a")}, {Gen: half("b")}}}
+	tr, err := p.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration != 4*Day {
+		t.Fatalf("duration = %v, want 4 days", tr.Duration)
+	}
+	first, second := 0, 0
+	for _, c := range tr.Contacts {
+		if c.Start < 2*Day {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first == 0 || second == 0 {
+		t.Fatalf("segment contact counts: %d, %d", first, second)
+	}
+}
+
+func TestPhasesSegmentsDiffer(t *testing.T) {
+	// The two halves must be generated with different derived seeds: the
+	// drift scenario relies on structure actually changing.
+	g := DriftingCommunity(30, 5*Day)
+	tr, err := g.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf := tr.Slice(0, 5*Day)
+	secondHalf := tr.Slice(5*Day, 10*Day)
+	if len(firstHalf.Contacts) == 0 || len(secondHalf.Contacts) == 0 {
+		t.Fatal("empty half")
+	}
+	// Compare per-pair contact counts between halves; drift should make
+	// them disagree substantially.
+	firstPairs := make(map[int]int)
+	for _, c := range firstHalf.Contacts {
+		firstPairs[int(c.A)*tr.N+int(c.B)]++
+	}
+	secondPairs := make(map[int]int)
+	for _, c := range secondHalf.Contacts {
+		secondPairs[int(c.A)*tr.N+int(c.B)]++
+	}
+	same, diff := 0, 0
+	for k, v := range firstPairs {
+		w := secondPairs[k]
+		if v > 0 && w > 0 && abs(v-w) <= 2 {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff < same {
+		t.Fatalf("halves look identical: same=%d diff=%d", same, diff)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPhasesValidation(t *testing.T) {
+	if _, err := (&Phases{TraceName: "x"}).Generate(1); err == nil {
+		t.Fatal("empty phases accepted")
+	}
+	if _, err := (&Phases{TraceName: "x", Segments: []Segment{{}}}).Generate(1); err == nil {
+		t.Fatal("nil segment generator accepted")
+	}
+	mismatch := &Phases{TraceName: "x", Segments: []Segment{
+		{Gen: &HeterogeneousExp{TraceName: "a", N: 5, Duration: Day, MeanRate: 1.0 / Day, RateShape: 1, PairFraction: 1, MeanContactDur: 60}},
+		{Gen: &HeterogeneousExp{TraceName: "b", N: 6, Duration: Day, MeanRate: 1.0 / Day, RateShape: 1, PairFraction: 1, MeanContactDur: 60}},
+	}}
+	if _, err := mismatch.Generate(1); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+}
+
+func TestDriftingCommunityDeterministic(t *testing.T) {
+	a, err := DriftingCommunity(20, 3*Day).Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DriftingCommunity(20, 3*Day).Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package network is the opportunistic network layer: it replays a
+// contact trace through the discrete-event engine, dispatches each contact
+// to the registered protocol handlers, enforces the per-contact transfer
+// budget implied by contact duration, and accounts for every transmission
+// — the overhead metric of the evaluation.
+//
+// The layer is deliberately thin: protocols own their node state (caches,
+// relay buffers, pending-refresh sets); the network owns only connectivity
+// and cost.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"freshcache/internal/eventsim"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// Handler is a protocol attached to the network. OnContact is invoked once
+// per contact, at the contact's start time; both directions of exchange
+// happen inside the single callback via Contact.Send.
+type Handler interface {
+	OnContact(c *Contact)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(c *Contact)
+
+// OnContact implements Handler.
+func (f HandlerFunc) OnContact(c *Contact) { f(c) }
+
+var _ Handler = HandlerFunc(nil)
+
+// Contact is the live view of one pairwise contact passed to handlers.
+type Contact struct {
+	A, B     trace.NodeID
+	Time     float64
+	Duration float64
+
+	net       *Net
+	remaining int // message budget left in this contact; -1 = unlimited
+}
+
+// Send transfers one protocol message from one endpoint of the contact to
+// the other, consuming contact budget and recording overhead under the
+// given kind ("refresh", "relay", "query", ...). It reports false — and
+// records nothing — when the contact's transfer budget is exhausted, which
+// models short contacts truncating exchanges.
+func (c *Contact) Send(from, to trace.NodeID, kind string) bool {
+	if (from != c.A || to != c.B) && (from != c.B || to != c.A) {
+		panic(fmt.Sprintf("network: Send(%d→%d) outside contact (%d,%d)", from, to, c.A, c.B))
+	}
+	if c.remaining == 0 {
+		c.net.truncated++
+		return false
+	}
+	if c.remaining > 0 {
+		c.remaining--
+	}
+	if c.net.lossRNG != nil && c.net.lossRNG.Float64() < c.net.cfg.DropProb {
+		// The transmission happened (budget spent) but was lost in the
+		// air; the receiver gets nothing.
+		c.net.lost++
+		return false
+	}
+	c.net.transmissions[kind]++
+	c.net.totalTransmissions++
+	if kind != "data" && kind != "query" {
+		// Query/data traffic is access-path cost, not refresh load.
+		c.net.sentBy[from]++
+	}
+	return true
+}
+
+// Budget reports the remaining message budget (-1 means unlimited).
+func (c *Contact) Budget() int { return c.remaining }
+
+// Config configures a Net.
+type Config struct {
+	// MsgTime is the transfer time of one message in seconds; a contact of
+	// duration d carries at most floor(d/MsgTime) messages (minimum 1).
+	// Zero disables the budget (infinite bandwidth).
+	MsgTime float64
+	// DropProb makes each transmission independently fail with this
+	// probability (radio loss, collisions). A dropped send consumes
+	// contact budget but delivers nothing.
+	DropProb float64
+	// Churn turns nodes off and on; contacts involving a down node are
+	// suppressed.
+	Churn ChurnConfig
+	// Seed drives the failure-injection randomness (loss, churn
+	// schedules). Ignored when neither is enabled.
+	Seed int64
+}
+
+// Net replays a trace and dispatches contacts.
+type Net struct {
+	sim      *eventsim.Simulator
+	tr       *trace.Trace
+	cfg      Config
+	handlers []Handler
+
+	transmissions      map[string]int
+	totalTransmissions int
+	truncated          int
+	lost               int
+	contactsDispatched int
+	contactsSuppressed int
+	sentBy             map[trace.NodeID]int // refresh/relay sends per node
+
+	lossRNG *rand.Rand    // non-nil when DropProb > 0
+	avail   *availability // non-nil when churn is enabled
+}
+
+// New creates a network over the given trace, driven by sim. The trace
+// must validate.
+func New(sim *eventsim.Simulator, tr *trace.Trace, cfg Config) (*Net, error) {
+	if sim == nil {
+		return nil, errors.New("network: nil simulator")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if cfg.MsgTime < 0 {
+		return nil, fmt.Errorf("network: negative message time %v", cfg.MsgTime)
+	}
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		if cfg.DropProb != 0 {
+			return nil, fmt.Errorf("network: drop probability %v outside [0,1)", cfg.DropProb)
+		}
+	}
+	if err := cfg.Churn.validate(); err != nil {
+		return nil, err
+	}
+	n := &Net{
+		sim:           sim,
+		tr:            tr,
+		cfg:           cfg,
+		transmissions: make(map[string]int),
+		sentBy:        make(map[trace.NodeID]int),
+	}
+	if cfg.DropProb > 0 {
+		n.lossRNG = stats.Derive(cfg.Seed, "network/loss")
+	}
+	if cfg.Churn.Enabled() {
+		n.avail = buildAvailability(cfg.Churn, tr.N, tr.Duration, cfg.Seed)
+	}
+	return n, nil
+}
+
+// Attach registers a protocol handler. Handlers run in attach order on
+// every contact.
+func (n *Net) Attach(h Handler) {
+	if h == nil {
+		panic("network: nil handler")
+	}
+	n.handlers = append(n.handlers, h)
+}
+
+// Schedule enqueues every contact of the trace into the simulator. Call
+// once, before running the simulator.
+func (n *Net) Schedule() error {
+	for i := range n.tr.Contacts {
+		c := n.tr.Contacts[i]
+		_, err := n.sim.ScheduleAt(c.Start, func(now float64) {
+			n.dispatch(c, now)
+		})
+		if err != nil {
+			return fmt.Errorf("network: schedule contact %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (n *Net) dispatch(c trace.Contact, now float64) {
+	if n.avail != nil && (!n.avail.isUp(c.A, now) || !n.avail.isUp(c.B, now)) {
+		n.contactsSuppressed++
+		return
+	}
+	budget := -1
+	if n.cfg.MsgTime > 0 {
+		budget = int(c.Duration() / n.cfg.MsgTime)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	live := &Contact{
+		A:        c.A,
+		B:        c.B,
+		Time:     now,
+		Duration: c.Duration(),
+		net:      n,
+
+		remaining: budget,
+	}
+	n.contactsDispatched++
+	for _, h := range n.handlers {
+		h.OnContact(live)
+	}
+}
+
+// ManualContact creates a live contact outside trace replay, with the
+// same budget rules and accounting as dispatched contacts. It does not
+// invoke handlers. Intended for custom drivers and protocol unit tests.
+func (n *Net) ManualContact(a, b trace.NodeID, at, duration float64) *Contact {
+	budget := -1
+	if n.cfg.MsgTime > 0 {
+		budget = int(duration / n.cfg.MsgTime)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	return &Contact{A: a, B: b, Time: at, Duration: duration, net: n, remaining: budget}
+}
+
+// Transmissions returns the transmission count recorded under kind.
+func (n *Net) Transmissions(kind string) int { return n.transmissions[kind] }
+
+// SentBy reports how many refresh-related transmissions ("refresh" and
+// "relay" kinds; access-path "data"/"query" traffic excluded) the node
+// originated — the per-node refreshing load, used to show how the
+// hierarchy distributes work away from the data sources.
+func (n *Net) SentBy(node trace.NodeID) int { return n.sentBy[node] }
+
+// TotalTransmissions returns the total transmissions across all kinds.
+func (n *Net) TotalTransmissions() int { return n.totalTransmissions }
+
+// Truncated reports how many sends were refused because a contact's
+// budget was exhausted.
+func (n *Net) Truncated() int { return n.truncated }
+
+// Lost reports how many transmissions were dropped by message loss.
+func (n *Net) Lost() int { return n.lost }
+
+// ContactsSuppressed reports how many contacts were suppressed because an
+// endpoint was down (churn).
+func (n *Net) ContactsSuppressed() int { return n.contactsSuppressed }
+
+// NodeUp reports whether a node is up at time t (always true without
+// churn).
+func (n *Net) NodeUp(node trace.NodeID, t float64) bool {
+	if n.avail == nil {
+		return true
+	}
+	return n.avail.isUp(node, t)
+}
+
+// ContactsDispatched reports how many contacts have fired so far.
+func (n *Net) ContactsDispatched() int { return n.contactsDispatched }
+
+// TransmissionKinds returns the recorded kinds in sorted order, for
+// stable reporting.
+func (n *Net) TransmissionKinds() []string {
+	kinds := make([]string, 0, len(n.transmissions))
+	for k := range n.transmissions {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

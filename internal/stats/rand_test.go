@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	a := Derive(7, "mobility")
+	b := Derive(7, "workload")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams look correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestDeriveStableAcrossCalls(t *testing.T) {
+	x := Derive(7, "mobility").Float64()
+	y := Derive(7, "mobility").Float64()
+	if x != y {
+		t.Fatalf("Derive not stable: %v != %v", x, y)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := NewRNG(1)
+	const rate = 2.5
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := Exp(rng, rate)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want) > 0.01*want {
+		t.Fatalf("exp mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	Exp(NewRNG(1), 0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := NewRNG(2)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(Poisson(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.02 {
+			t.Errorf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := Poisson(NewRNG(3), 0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := Poisson(NewRNG(3), -1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", got)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := NewRNG(4)
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {3, 0.5}, {9, 4},
+	} {
+		const n = 100000
+		var sum, ss float64
+		for i := 0; i < n; i++ {
+			v := Gamma(rng, tc.shape, tc.scale)
+			if v < 0 {
+				t.Fatalf("negative gamma draw")
+			}
+			sum += v
+			ss += v * v
+		}
+		mean := sum / n
+		wantMean := tc.shape * tc.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("gamma(%v,%v) mean = %v, want ~%v", tc.shape, tc.scale, mean, wantMean)
+		}
+		variance := ss/n - mean*mean
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("gamma(%v,%v) var = %v, want ~%v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	rng := NewRNG(5)
+	const xm, alpha = 2.0, 1.5
+	for i := 0; i < 10000; i++ {
+		if v := Pareto(rng, xm, alpha); v < xm {
+			t.Fatalf("pareto draw %v below minimum %v", v, xm)
+		}
+	}
+}
+
+func TestBoundedParetoSupport(t *testing.T) {
+	rng := NewRNG(6)
+	const lo, hi, alpha = 1.0, 100.0, 0.8
+	for i := 0; i < 10000; i++ {
+		v := BoundedPareto(rng, lo, hi, alpha)
+		if v < lo || v > hi {
+			t.Fatalf("bounded pareto draw %v outside [%v,%v]", v, lo, hi)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	rng := NewRNG(7)
+	draw := Zipf(rng, 1.2, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		r := draw()
+		if r < 0 || r >= 10 {
+			t.Fatalf("zipf rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate rank 9 clearly.
+	if counts[0] <= counts[9]*2 {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+}
+
+func TestZipfClampsExponent(t *testing.T) {
+	rng := NewRNG(8)
+	draw := Zipf(rng, 0.5, 5) // below-1 exponent must not panic
+	for i := 0; i < 100; i++ {
+		if r := draw(); r < 0 || r >= 5 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := Uniform(rng, -3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("uniform draw %v outside [-3,5)", v)
+		}
+	}
+}

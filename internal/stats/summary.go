@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes descriptive statistics for the sample. An empty
+// sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+
+	return Summary{
+		Count:  len(sorted),
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P90:    Quantile(sorted, 0.9),
+		P99:    Quantile(sorted, 0.99),
+	}
+}
+
+// String renders the summary in a compact single-line form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p90=%.4g max=%.4g",
+		s.Count, s.Mean, s.Std, s.Min, s.Median, s.P90, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already-sorted
+// sample using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// of the sample under a normal approximation (1.96 * std / sqrt(n)).
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := Summarize(xs)
+	return 1.96 * s.Std / math.Sqrt(float64(s.Count))
+}
+
+// ECDF returns an empirical CDF evaluator for the sample. The returned
+// function reports the fraction of observations <= x.
+func ECDF(xs []float64) func(x float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return func(x float64) float64 {
+		if len(sorted) == 0 {
+			return math.NaN()
+		}
+		// First index with sorted[i] > x.
+		i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+		return float64(i) / float64(len(sorted))
+	}
+}
+
+// CDFPoints evaluates the empirical CDF of the sample at the given probe
+// points, returning one fraction per probe. Used to render delay-CDF
+// figures.
+func CDFPoints(xs, probes []float64) []float64 {
+	cdf := ECDF(xs)
+	out := make([]float64, len(probes))
+	for i, p := range probes {
+		out[i] = cdf(p)
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of a non-negative sample: 0 when all
+// values are equal, approaching 1 as one value dominates. Used to report
+// how evenly the refreshing load spreads over nodes. Empty or all-zero
+// samples return 0.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		if x < 0 {
+			x = 0
+		}
+		total += x
+		cum += float64(i+1) * x
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*cum)/(n*total) - (n+1)/n
+}

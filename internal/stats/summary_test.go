@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Fatalf("empty summary count = %d", s.Count)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1. / 3., 20},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := NewRNG(12)
+	small := make([]float64, 100)
+	large := make([]float64, 10000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	if CI95(large) >= CI95(small) {
+		t.Fatalf("CI did not shrink: large=%v small=%v", CI95(large), CI95(small))
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("singleton CI should be 0")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	cdf := ECDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := cdf(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ECDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	got := CDFPoints([]float64{1, 2, 3, 4}, []float64{0, 2, 5})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDFPoints = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: ECDF is monotone non-decreasing and bounded in [0,1].
+func TestECDFProperties(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		cdf := ECDF(xs)
+		pa, pb := cdf(a), cdf(b)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: summary ordering invariants hold for any finite sample.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Keep magnitudes bounded so the running sum cannot overflow;
+			// the invariants under test are order statistics, not extreme-
+			// value arithmetic.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini(nil); got != 0 {
+		t.Fatalf("empty gini = %v", got)
+	}
+	if got := Gini([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("all-zero gini = %v", got)
+	}
+	if got := Gini([]float64{5, 5, 5, 5}); math.Abs(got) > 1e-12 {
+		t.Fatalf("equal gini = %v, want 0", got)
+	}
+	// One node does everything out of n: Gini = (n-1)/n.
+	if got := Gini([]float64{0, 0, 0, 10}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("concentrated gini = %v, want 0.75", got)
+	}
+	// More skew = higher Gini.
+	even := Gini([]float64{4, 5, 6})
+	skew := Gini([]float64{1, 2, 12})
+	if even >= skew {
+		t.Fatalf("gini ordering: %v >= %v", even, skew)
+	}
+	// Scale invariance.
+	a := Gini([]float64{1, 2, 3})
+	b := Gini([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("gini not scale invariant: %v vs %v", a, b)
+	}
+	// Negative values clamp to zero rather than corrupting the result.
+	if got := Gini([]float64{-5, 10}); got < 0 || got > 1 {
+		t.Fatalf("gini with negatives = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers: whatever bytes arrive, the readers
+// must either return an error or a trace that passes Validate — never
+// panic, never return corrupt data. The seed corpus runs as part of the
+// normal test suite; `go test -fuzz=FuzzRead ./internal/trace` explores
+// further.
+
+func FuzzRead(f *testing.F) {
+	f.Add("# name: x\n# nodes: 3\n0 1 5 10\n")
+	f.Add("0 1 5 10\n2 1 20 25\n")
+	f.Add("# duration: 100\n")
+	f.Add("0 0 1 2\n")
+	f.Add("a b c d\n")
+	f.Add("0 1 10 5\n") // end before start
+	f.Add("# nodes: -5\n0 1 1 2\n")
+	f.Add("0 1 1e308 1e309\n")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted invalid trace: %v\ninput: %q", err, in)
+		}
+	})
+}
+
+func FuzzReadONE(f *testing.F) {
+	f.Add("10 CONN 0 1 up\n20 CONN 0 1 down\n")
+	f.Add("10 CONN n1 p2 up\n")
+	f.Add("5 CONN 0 1 down\n")
+	f.Add("x CONN 0 1 up\n")
+	f.Add("10 MSG 0 1 whatever\n")
+	f.Add("10 CONN 0 0 up\n")
+	f.Add("1e308 CONN 0 1 up\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadONE(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadONE accepted invalid trace: %v\ninput: %q", err, in)
+		}
+	})
+}
+
+func FuzzReadAuto(f *testing.F) {
+	f.Add("# c\n0 1 5 10\n")
+	f.Add("10 CONN 0 1 up\n20 CONN 0 1 down\n")
+	f.Add("")
+	f.Add("# only a comment\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadAuto(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadAuto accepted invalid trace: %v\ninput: %q", err, in)
+		}
+	})
+}

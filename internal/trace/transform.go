@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subset restricts the trace to the given nodes, renumbering them densely
+// in the order given. Contacts with an endpoint outside the set are
+// dropped. Useful for downsampling large real traces to a tractable
+// population.
+func (t *Trace) Subset(nodes []NodeID) (*Trace, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("trace: subset needs at least 2 nodes, got %d", len(nodes))
+	}
+	remap := make(map[NodeID]NodeID, len(nodes))
+	for i, n := range nodes {
+		if n < 0 || int(n) >= t.N {
+			return nil, fmt.Errorf("trace: subset node %d outside trace (N=%d)", n, t.N)
+		}
+		if _, dup := remap[n]; dup {
+			return nil, fmt.Errorf("trace: duplicate subset node %d", n)
+		}
+		remap[n] = NodeID(i)
+	}
+	out := &Trace{Name: t.Name + "-subset", N: len(nodes), Duration: t.Duration}
+	for _, c := range t.Contacts {
+		a, okA := remap[c.A]
+		b, okB := remap[c.B]
+		if !okA || !okB {
+			continue
+		}
+		out.Contacts = append(out.Contacts, Contact{A: a, B: b, Start: c.Start, End: c.End})
+	}
+	out.Normalize()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Rebase shifts all contact times so the earliest contact starts at 0 and
+// trims the duration to the last contact end. Real trace exports often
+// carry epoch timestamps; Rebase makes them simulation-ready.
+func (t *Trace) Rebase() *Trace {
+	out := &Trace{Name: t.Name, N: t.N}
+	if len(t.Contacts) == 0 {
+		out.Duration = t.Duration
+		return out
+	}
+	base := t.Contacts[0].Start
+	var maxEnd float64
+	for _, c := range t.Contacts {
+		if c.Start < base {
+			base = c.Start
+		}
+		if c.End > maxEnd {
+			maxEnd = c.End
+		}
+	}
+	for _, c := range t.Contacts {
+		out.Contacts = append(out.Contacts, Contact{A: c.A, B: c.B, Start: c.Start - base, End: c.End - base})
+	}
+	out.Duration = maxEnd - base
+	out.Normalize()
+	return out
+}
+
+// Concat appends another trace of the same population after this one in
+// time: the second trace's contacts are shifted by the first trace's
+// duration. Both traces must have the same node count.
+func (t *Trace) Concat(other *Trace) (*Trace, error) {
+	if other.N != t.N {
+		return nil, fmt.Errorf("trace: concat population mismatch (%d vs %d nodes)", t.N, other.N)
+	}
+	out := &Trace{Name: t.Name, N: t.N, Duration: t.Duration + other.Duration}
+	out.Contacts = append(out.Contacts, t.Contacts...)
+	for _, c := range other.Contacts {
+		out.Contacts = append(out.Contacts, Contact{A: c.A, B: c.B, Start: c.Start + t.Duration, End: c.End + t.Duration})
+	}
+	out.Normalize()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TopNodesByContacts returns the n nodes with the most contacts, in
+// descending contact-count order (ties by ascending ID) — the standard way
+// to downsample a real trace to its active participants.
+func (t *Trace) TopNodesByContacts(n int) ([]NodeID, error) {
+	if n <= 0 || n > t.N {
+		return nil, fmt.Errorf("trace: cannot pick top %d of %d nodes", n, t.N)
+	}
+	counts := make([]int, t.N)
+	for _, c := range t.Contacts {
+		counts[c.A]++
+		counts[c.B]++
+	}
+	ids := make([]NodeID, t.N)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:n], nil
+}

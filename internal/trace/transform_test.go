@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubset(t *testing.T) {
+	tr := validTrace() // contacts: (0,1)x2, (1,2), (2,3)
+	sub, err := tr.Subset([]NodeID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N != 2 {
+		t.Fatalf("N = %d", sub.N)
+	}
+	// Only the (1,2) contact survives, renumbered to (0,1).
+	if len(sub.Contacts) != 1 {
+		t.Fatalf("contacts: %+v", sub.Contacts)
+	}
+	if sub.Contacts[0].A != 0 || sub.Contacts[0].B != 1 || sub.Contacts[0].Start != 10 {
+		t.Fatalf("contact: %+v", sub.Contacts[0])
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetValidation(t *testing.T) {
+	tr := validTrace()
+	if _, err := tr.Subset([]NodeID{1}); err == nil {
+		t.Fatal("singleton subset accepted")
+	}
+	if _, err := tr.Subset([]NodeID{0, 99}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := tr.Subset([]NodeID{1, 1}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	tr := &Trace{Name: "epoch", N: 2, Duration: 2e9, Contacts: []Contact{
+		{A: 0, B: 1, Start: 1.5e9, End: 1.5e9 + 60},
+		{A: 0, B: 1, Start: 1.5e9 + 600, End: 1.5e9 + 700},
+	}}
+	out := tr.Rebase()
+	if out.Contacts[0].Start != 0 || out.Contacts[0].End != 60 {
+		t.Fatalf("first contact: %+v", out.Contacts[0])
+	}
+	if math.Abs(out.Duration-700) > 1e-6 {
+		t.Fatalf("duration = %v, want 700", out.Duration)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if tr.Contacts[0].Start != 1.5e9 {
+		t.Fatal("rebase mutated original")
+	}
+}
+
+func TestRebaseEmpty(t *testing.T) {
+	tr := &Trace{Name: "e", N: 2, Duration: 100}
+	out := tr.Rebase()
+	if out.Duration != 100 || len(out.Contacts) != 0 {
+		t.Fatalf("empty rebase: %+v", out)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := &Trace{Name: "a", N: 3, Duration: 100, Contacts: []Contact{{A: 0, B: 1, Start: 10, End: 20}}}
+	b := &Trace{Name: "b", N: 3, Duration: 50, Contacts: []Contact{{A: 1, B: 2, Start: 5, End: 8}}}
+	out, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Duration != 150 || len(out.Contacts) != 2 {
+		t.Fatalf("concat: %+v", out)
+	}
+	if out.Contacts[1].Start != 105 || out.Contacts[1].End != 108 {
+		t.Fatalf("shifted contact: %+v", out.Contacts[1])
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatMismatch(t *testing.T) {
+	a := &Trace{Name: "a", N: 3, Duration: 100}
+	b := &Trace{Name: "b", N: 4, Duration: 50}
+	if _, err := a.Concat(b); err == nil {
+		t.Fatal("population mismatch accepted")
+	}
+}
+
+func TestTopNodesByContacts(t *testing.T) {
+	tr := validTrace() // node contact counts: 0:2, 1:3, 2:2, 3:1
+	top, err := tr.TopNodesByContacts(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 1 {
+		t.Fatalf("top node = %d, want 1", top[0])
+	}
+	if top[1] != 0 { // tie between 0 and 2 broken by ID
+		t.Fatalf("second node = %d, want 0", top[1])
+	}
+	if _, err := tr.TopNodesByContacts(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := tr.TopNodesByContacts(99); err == nil {
+		t.Fatal("n>N accepted")
+	}
+}
+
+func TestSubsetOfTopNodesRoundTrip(t *testing.T) {
+	tr := validTrace()
+	top, err := tr.TopNodesByContacts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tr.Subset(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N != 3 {
+		t.Fatalf("N = %d", sub.N)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
