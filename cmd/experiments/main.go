@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"freshcache/internal/expt"
+	"freshcache/internal/metrics"
 )
 
 func main() {
@@ -37,7 +38,8 @@ func run(args []string) error {
 		quick  = fs.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		csvDir = fs.String("csv", "", "directory to write per-table CSV files")
 		charts = fs.Bool("charts", false, "also render numeric tables as ASCII charts")
-		par    = fs.Int("parallel", 1, "run up to this many experiments concurrently (output stays in order)")
+		par    = fs.Int("parallel", 1, "sweep-cell worker bound per experiment, capped at GOMAXPROCS (experiments themselves also run up to this many at once; output stays in order)")
+		reps   = fs.Int("replicates", 0, "replicates per sweep cell (0 = experiment default; >1 reports mean±stderr)")
 		list   = fs.Bool("list", false, "list the experiment registry and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,21 +74,27 @@ func run(args []string) error {
 	if *par < 1 {
 		return fmt.Errorf("parallel must be >= 1, got %d", *par)
 	}
+	if *reps < 0 {
+		return fmt.Errorf("replicates must be >= 0, got %d", *reps)
+	}
 
 	// Experiments run concurrently up to the -parallel bound; each one's
 	// rendered output is buffered and printed in registry order so logs
-	// stay deterministic regardless of completion order.
+	// stay deterministic regardless of completion order. The semaphore is
+	// acquired before spawning so at most -parallel goroutines exist at a
+	// time, instead of one per experiment all parked on the semaphore.
 	results := make([]outcome, len(selected))
 	sem := make(chan struct{}, *par)
 	var wg sync.WaitGroup
 	for i, e := range selected {
 		i, e := i, e
+		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = runOne(e, expt.Options{Seed: *seed, Quick: *quick}, *charts, *csvDir)
+			opts := expt.Options{Seed: *seed, Quick: *quick, Parallel: *par, Replicates: *reps}
+			results[i] = runOne(e, opts, *charts, *csvDir)
 		}()
 	}
 	wg.Wait()
@@ -108,6 +116,8 @@ type outcome struct {
 // runOne executes one experiment and renders its full output block.
 func runOne(e expt.Experiment, opts expt.Options, charts bool, csvDir string) (out outcome) {
 	start := time.Now()
+	stats := metrics.NewRunStats()
+	opts.Stats = stats
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s — %s (paper analogue: %s)\n", e.ID, e.Title, e.PaperAnalogue)
 	tables, err := e.Run(opts)
@@ -118,9 +128,12 @@ func runOne(e expt.Experiment, opts expt.Options, charts bool, csvDir string) (o
 	for i, t := range tables {
 		fmt.Fprintln(&b, t.Render())
 		if charts && t.Chartable() {
-			if chart, err := t.Chart(64, 16); err == nil {
-				fmt.Fprintln(&b, chart)
+			chart, err := t.Chart(64, 16)
+			if err != nil {
+				out.err = fmt.Errorf("chart for table %q: %w", t.Title, err)
+				return
 			}
+			fmt.Fprintln(&b, chart)
 		}
 		if csvDir != "" {
 			name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
@@ -130,7 +143,11 @@ func runOne(e expt.Experiment, opts expt.Options, charts bool, csvDir string) (o
 			}
 		}
 	}
-	fmt.Fprintf(&b, "(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	if stats.Runs() > 0 {
+		fmt.Fprintf(&b, "(%s stats: %s)\n", e.ID, stats.Summary(elapsed.Seconds()))
+	}
+	fmt.Fprintf(&b, "(%s completed in %s)\n\n", e.ID, elapsed.Round(time.Millisecond))
 	out.text = b.String()
 	return
 }

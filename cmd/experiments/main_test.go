@@ -52,3 +52,15 @@ func TestRunParallelValidation(t *testing.T) {
 		t.Fatal("parallel=0 accepted")
 	}
 }
+
+func TestRunReplicates(t *testing.T) {
+	if err := run([]string{"-run", "E4", "-quick", "-replicates", "2", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplicatesValidation(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-replicates", "-1"}); err == nil {
+		t.Fatal("replicates=-1 accepted")
+	}
+}

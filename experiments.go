@@ -25,13 +25,24 @@ func Experiments() []ExperimentInfo {
 	return out
 }
 
+// ExperimentOptions controls one experiment run: seed, quick trimming, the
+// sweep-cell worker bound, replicates per cell, and an optional RunStats
+// sink for throughput accounting.
+type ExperimentOptions = expt.Options
+
 // RunExperiment regenerates one experiment's tables. quick trims sweeps to
 // a couple of points for smoke runs; the full sweep reproduces the
 // evaluation.
 func RunExperiment(id string, seed int64, quick bool) ([]*ExperimentTable, error) {
+	return RunExperimentOpts(id, ExperimentOptions{Seed: seed, Quick: quick})
+}
+
+// RunExperimentOpts is RunExperiment with full control over execution
+// options (parallel workers, replicates, run statistics).
+func RunExperimentOpts(id string, opts ExperimentOptions) ([]*ExperimentTable, error) {
 	e, err := expt.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(expt.Options{Seed: seed, Quick: quick})
+	return e.Run(opts)
 }

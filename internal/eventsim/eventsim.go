@@ -91,8 +91,15 @@ func New() *Simulator {
 // the handler's scheduled time.
 func (s *Simulator) Now() float64 { return s.now }
 
-// Processed reports how many events have been executed so far.
+// Processed reports how many events have been executed so far. Engines
+// surface this through metrics.Result (and sweep-level RunStats) as the
+// per-run simulated-event count.
 func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Scheduled reports how many events have ever been scheduled (executed,
+// still pending, or canceled). Together with Processed it bounds how much
+// scheduled work a run abandoned at the horizon.
+func (s *Simulator) Scheduled() uint64 { return s.nextSeq }
 
 // Pending reports how many events are currently scheduled.
 func (s *Simulator) Pending() int { return s.queue.Len() }

@@ -280,3 +280,27 @@ func TestReentrantRunRejected(t *testing.T) {
 		t.Fatal("re-entrant Run succeeded")
 	}
 }
+
+func TestScheduledAndProcessedCounters(t *testing.T) {
+	s := New()
+	var ids []EventID
+	for i := 0; i < 5; i++ {
+		id := mustSchedule(t, s, float64(i+1), func(float64) {})
+		ids = append(ids, id)
+	}
+	if s.Scheduled() != 5 {
+		t.Fatalf("scheduled = %d, want 5", s.Scheduled())
+	}
+	if !s.Cancel(ids[4]) {
+		t.Fatal("cancel failed")
+	}
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Processed() != 4 {
+		t.Fatalf("processed = %d, want 4", s.Processed())
+	}
+	if s.Scheduled() != 5 {
+		t.Fatalf("scheduled after run = %d, want 5", s.Scheduled())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"freshcache/internal/core"
+	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
@@ -16,6 +17,41 @@ type Options struct {
 	// Quick trims sweeps to a couple of points (used by the benchmark
 	// harness and smoke tests); the full sweep reproduces the evaluation.
 	Quick bool
+	// Parallel bounds the sweep runner's worker pool; the effective pool
+	// is min(GOMAXPROCS, Parallel), 0 meaning GOMAXPROCS. Results are
+	// byte-identical regardless of the value.
+	Parallel int
+	// Replicates overrides the per-cell replicate count of every sweep
+	// (0 = each experiment's default: 1 for the paper sweeps, 2–3 for the
+	// variance-prone extension experiments). With more than one replicate,
+	// swept tables report mean±stderr cells.
+	Replicates int
+	// Stats, when non-nil, accumulates per-run execution statistics
+	// (events processed, transmissions by kind, wall time) across the
+	// experiment's simulation runs. It must be safe for concurrent use;
+	// metrics.NewRunStats is.
+	Stats *metrics.RunStats
+}
+
+// record folds one run's result into the optional stats accumulator.
+func (o Options) record(r metrics.Result) {
+	if o.Stats != nil {
+		o.Stats.Record(r)
+	}
+}
+
+// sweep builds the worker-pool sweep for one experiment grid, threading
+// the run options' seed, parallelism and replicate override through.
+func (o Options) sweep(id string, presets []string, points int, schemes []string) Sweep {
+	return Sweep{
+		Experiment: id,
+		Presets:    presets,
+		Points:     points,
+		Schemes:    schemes,
+		Replicates: o.Replicates,
+		Parallel:   o.Parallel,
+		BaseSeed:   o.Seed,
+	}
 }
 
 // Experiment is one reproducible unit of the evaluation: it regenerates
@@ -41,13 +77,11 @@ func presets(opts Options) []string {
 	return []string{"reality-like", "infocom-like"}
 }
 
-// genTrace generates one preset trace for the experiment's seed.
+// genTrace returns one preset trace for the experiment's seed, generated
+// once per process via the shared cache (traces are immutable, so sweeps
+// and successive experiments share them freely).
 func genTrace(preset string, seed int64) (*trace.Trace, error) {
-	g, err := mobility.Preset(preset)
-	if err != nil {
-		return nil, err
-	}
-	return g.Generate(seed)
+	return sharedTraces.Get(preset, seed)
 }
 
 // refreshSweep returns the refresh-interval sweep appropriate for a
@@ -131,35 +165,66 @@ func runE1(opts Options) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// runSweepCell is the shared cell body of the swept paper experiments: it
+// fetches the cell's cached trace, lets mutate specialize the scenario for
+// the cell's sweep point, runs the cell's scheme, records run statistics,
+// and extracts the metric vector.
+func runSweepCell(opts Options, c Cell, mutate func(sc *Scenario), extract func(res metrics.Result, eng *core.Engine) []float64) ([]float64, error) {
+	tr, err := genTrace(c.Preset, c.TraceSeed)
+	if err != nil {
+		return nil, err
+	}
+	sc := defaultScenario(c.Preset, c.Seed)
+	if mutate != nil {
+		mutate(&sc)
+	}
+	scheme, err := core.SchemeByName(c.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	res, eng, err := sc.RunOnTrace(scheme, tr)
+	if err != nil {
+		return nil, err
+	}
+	opts.record(res)
+	return extract(res, eng), nil
+}
+
+// schemeGrid renders one preset's slice of a sweep result as an
+// (x, one metric per scheme) table.
+func schemeGrid(id, title, xHeader string, xs []any, schemes []string, res *SweepResult, preset int) *Table {
+	t := &Table{ID: id, Title: title, Header: append([]string{xHeader}, schemes...)}
+	for pt, x := range xs {
+		row := []any{x}
+		for si := range schemes {
+			row = append(row, res.Value(preset, pt, si, 0))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
 func runE2(opts Options) ([]*Table, error) {
 	var tables []*Table
+	// The refresh sweep is trace-specific, so each preset gets its own
+	// worker-pool grid.
 	for _, preset := range presets(opts) {
-		tr, err := genTrace(preset, opts.Seed)
+		rs := refreshSweep(preset, opts.Quick)
+		sw := opts.sweep("E2", []string{preset}, len(rs), figureSchemes())
+		res, err := sw.Run(func(c Cell) ([]float64, error) {
+			return runSweepCell(opts, c,
+				func(sc *Scenario) { sc.RefreshInterval = rs[c.Point] },
+				func(r metrics.Result, _ *core.Engine) []float64 { return []float64{r.FreshnessRatio} })
+		})
 		if err != nil {
 			return nil, err
 		}
-		t := &Table{
-			ID: "E2", Title: "Freshness ratio vs refresh interval — " + preset,
-			Header: append([]string{"refresh(h)"}, figureSchemes()...),
+		xs := make([]any, len(rs))
+		for i, r := range rs {
+			xs[i] = r / mobility.Hour
 		}
-		for _, r := range refreshSweep(preset, opts.Quick) {
-			row := []any{r / mobility.Hour}
-			for _, name := range figureSchemes() {
-				sc := defaultScenario(preset, opts.Seed)
-				sc.RefreshInterval = r
-				scheme, err := core.SchemeByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, _, err := sc.RunOnTrace(scheme, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.FreshnessRatio)
-			}
-			t.AddRow(row...)
-		}
-		tables = append(tables, t)
+		tables = append(tables, schemeGrid("E2", "Freshness ratio vs refresh interval — "+preset,
+			"refresh(h)", xs, figureSchemes(), res, 0))
 	}
 	return tables, nil
 }
@@ -169,39 +234,31 @@ func runE3(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		ratesPerDay = ratesPerDay[:2]
 	}
-	var tables []*Table
-	for _, preset := range presets(opts) {
-		tr, err := genTrace(preset, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		t := &Table{
-			ID: "E3", Title: "Valid-access ratio vs per-node query rate — " + preset,
-			Header: append([]string{"queries/day"}, figureSchemes()...),
-		}
-		for _, q := range ratesPerDay {
-			row := []any{q}
-			for _, name := range figureSchemes() {
-				sc := defaultScenario(preset, opts.Seed)
-				sc.QueryRate = q / mobility.Day
+	ps := presets(opts)
+	sw := opts.sweep("E3", ps, len(ratesPerDay), figureSchemes())
+	res, err := sw.Run(func(c Cell) ([]float64, error) {
+		return runSweepCell(opts, c,
+			func(sc *Scenario) {
+				sc.QueryRate = ratesPerDay[c.Point] / mobility.Day
 				// Data is useful for exactly one refresh interval, so the
 				// figure isolates how well each scheme keeps the *current*
 				// version available (the default 2×R lifetime saturates on
 				// the dense trace).
 				sc.Lifetime = sc.RefreshInterval
-				scheme, err := core.SchemeByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, _, err := sc.RunOnTrace(scheme, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.ValidAccessRate)
-			}
-			t.AddRow(row...)
-		}
-		tables = append(tables, t)
+			},
+			func(r metrics.Result, _ *core.Engine) []float64 { return []float64{r.ValidAccessRate} })
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]any, len(ratesPerDay))
+	for i, q := range ratesPerDay {
+		xs[i] = q
+	}
+	var tables []*Table
+	for pi, preset := range ps {
+		tables = append(tables, schemeGrid("E3", "Valid-access ratio vs per-node query rate — "+preset,
+			"queries/day", xs, figureSchemes(), res, pi))
 	}
 	return tables, nil
 }
@@ -211,34 +268,24 @@ func runE4(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		ks = ks[:2]
 	}
+	ps := presets(opts)
+	sw := opts.sweep("E4", ps, len(ks), figureSchemes())
+	res, err := sw.Run(func(c Cell) ([]float64, error) {
+		return runSweepCell(opts, c,
+			func(sc *Scenario) { sc.NumCachingNodes = ks[c.Point] },
+			func(r metrics.Result, _ *core.Engine) []float64 { return []float64{r.FreshnessRatio} })
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]any, len(ks))
+	for i, k := range ks {
+		xs[i] = k
+	}
 	var tables []*Table
-	for _, preset := range presets(opts) {
-		tr, err := genTrace(preset, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		t := &Table{
-			ID: "E4", Title: "Freshness ratio vs number of caching nodes — " + preset,
-			Header: append([]string{"cachingNodes"}, figureSchemes()...),
-		}
-		for _, k := range ks {
-			row := []any{k}
-			for _, name := range figureSchemes() {
-				sc := defaultScenario(preset, opts.Seed)
-				sc.NumCachingNodes = k
-				scheme, err := core.SchemeByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, _, err := sc.RunOnTrace(scheme, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.FreshnessRatio)
-			}
-			t.AddRow(row...)
-		}
-		tables = append(tables, t)
+	for pi, preset := range ps {
+		tables = append(tables, schemeGrid("E4", "Freshness ratio vs number of caching nodes — "+preset,
+			"cachingNodes", xs, figureSchemes(), res, pi))
 	}
 	return tables, nil
 }
@@ -263,6 +310,7 @@ func runE5(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.record(res)
 			t.AddRow(preset, name, res.TxPerVersion,
 				res.TransmissionsByKind["refresh"], res.TransmissionsByKind["relay"],
 				res.SourceTxShare, res.MaxNodeTxShare, res.LoadGini, res.FreshnessRatio)
@@ -297,10 +345,11 @@ func runE6(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, eng, err := sc.RunOnTrace(scheme, tr)
+			res, eng, err := sc.RunOnTrace(scheme, tr)
 			if err != nil {
 				return nil, err
 			}
+			opts.record(res)
 			cols[i] = eng.Collector().DelayCDF(probes)
 		}
 		for pi, f := range fractions {
@@ -320,29 +369,32 @@ func runE7(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		preqs = preqs[:2]
 	}
+	ps := presets(opts)
+	sw := opts.sweep("E7", ps, len(preqs), []string{"hierarchical"})
+	res, err := sw.Run(func(c Cell) ([]float64, error) {
+		return runSweepCell(opts, c,
+			func(sc *Scenario) { sc.PReq = preqs[c.Point] },
+			func(r metrics.Result, eng *core.Engine) []float64 {
+				relayPerVer := 0.0
+				if r.VersionsGenerated > 0 {
+					relayPerVer = float64(r.TransmissionsByKind["relay"]) / float64(r.VersionsGenerated)
+				}
+				return []float64{r.SchemeStats["meanAchievedProb"], r.SchemeStats["satisfiedRatio"],
+					eng.Collector().FirstDeliveryOnTimeRatio(), relayPerVer}
+			})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []*Table
-	for _, preset := range presets(opts) {
-		tr, err := genTrace(preset, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
+	for pi, preset := range ps {
 		t := &Table{
 			ID: "E7", Title: "Replication analysis vs measured on-time delivery — " + preset,
 			Header: []string{"pReq", "analyticMeanProb", "plansSatisfied", "measuredFirstOnTime", "relayTx/version"},
 		}
-		for _, p := range preqs {
-			sc := defaultScenario(preset, opts.Seed)
-			sc.PReq = p
-			res, eng, err := sc.RunOnTrace(core.NewHierarchical(), tr)
-			if err != nil {
-				return nil, err
-			}
-			relayPerVer := 0.0
-			if res.VersionsGenerated > 0 {
-				relayPerVer = float64(res.TransmissionsByKind["relay"]) / float64(res.VersionsGenerated)
-			}
-			t.AddRow(p, res.SchemeStats["meanAchievedProb"], res.SchemeStats["satisfiedRatio"],
-				eng.Collector().FirstDeliveryOnTimeRatio(), relayPerVer)
+		for pt, p := range preqs {
+			t.AddRow(p, res.Value(pi, pt, 0, 0), res.Value(pi, pt, 0, 1),
+				res.Value(pi, pt, 0, 2), res.Value(pi, pt, 0, 3))
 		}
 		tables = append(tables, t)
 	}
@@ -355,34 +407,25 @@ func runE8(opts Options) ([]*Table, error) {
 		factors = factors[:2]
 	}
 	schemes := []string{"direct", "hierarchical", "epidemic"}
+	ps := presets(opts)
+	sw := opts.sweep("E8", ps, len(factors), schemes)
+	res, err := sw.Run(func(c Cell) ([]float64, error) {
+		return runSweepCell(opts, c,
+			func(sc *Scenario) { sc.FreshnessWindow = factors[c.Point] * sc.RefreshInterval },
+			func(r metrics.Result, _ *core.Engine) []float64 { return []float64{r.OnTimeRatio} })
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]any, len(factors))
+	for i, f := range factors {
+		xs[i] = f
+	}
 	var tables []*Table
-	for _, preset := range presets(opts) {
-		tr, err := genTrace(preset, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		t := &Table{
-			ID: "E8", Title: "On-time delivery ratio vs freshness window (in refresh intervals) — " + preset,
-			Header: append([]string{"window/R"}, schemes...),
-		}
-		for _, f := range factors {
-			row := []any{f}
-			for _, name := range schemes {
-				sc := defaultScenario(preset, opts.Seed)
-				sc.FreshnessWindow = f * sc.RefreshInterval
-				scheme, err := core.SchemeByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, _, err := sc.RunOnTrace(scheme, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.OnTimeRatio)
-			}
-			t.AddRow(row...)
-		}
-		tables = append(tables, t)
+	for pi, preset := range ps {
+		tables = append(tables, schemeGrid("E8",
+			"On-time delivery ratio vs freshness window (in refresh intervals) — "+preset,
+			"window/R", xs, schemes, res, pi))
 	}
 	return tables, nil
 }
@@ -408,6 +451,7 @@ func runE9(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.record(res)
 			t.AddRow(preset, name, res.FreshnessRatio, res.TxPerVersion,
 				res.SourceTxShare, res.MeanRefreshDelay/mobility.Hour)
 		}
@@ -440,6 +484,7 @@ func runE10(opts Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.record(res)
 		t.AddRow(n, len(tr.Contacts), int(res.SimulatedEventCount), res.WallClockSeconds,
 			res.FreshnessRatio, res.TxPerVersion)
 	}

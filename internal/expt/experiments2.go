@@ -15,14 +15,28 @@ import (
 // robustness to churn and message loss, the cost of realistic
 // (distributed) contact-rate knowledge, and the extended baseline panel.
 // They run each point over several seeds and report mean ± 95% CI, since
-// failure injection adds variance.
+// failure injection adds variance. The sweep-shaped ones run their cell
+// grids on the worker-pool runner (sweep.go); E14 and E16, which drive
+// custom engines, stay on the sequential meanCI helper.
 
-// replicas is the number of seeds per point in the extension experiments.
+// replicas is the number of seeds per point in the extension experiments,
+// unless overridden by Options.Replicates.
 func replicas(opts Options) int {
+	if opts.Replicates > 0 {
+		return opts.Replicates
+	}
 	if opts.Quick {
 		return 2
 	}
 	return 3
+}
+
+// extSweep builds an extension-experiment sweep: same grid mechanics as
+// Options.sweep but with the replicate default raised to replicas(opts).
+func extSweep(opts Options, id string, points int, schemes []string) Sweep {
+	sw := opts.sweep(id, []string{"ext-community"}, points, schemes)
+	sw.Replicates = replicas(opts)
+	return sw
 }
 
 // meanCI runs f over `n` consecutive seeds and returns the sample mean and
@@ -39,20 +53,22 @@ func meanCI(n int, base int64, f func(seed int64) (float64, error)) (float64, fl
 	return stats.Mean(xs), stats.CI95(xs), nil
 }
 
-// extScenario builds the mid-size community scenario used by the
-// extension experiments (smaller than the presets so multi-seed sweeps
-// stay fast, but structurally identical).
-func extScenario(seed int64) (Scenario, *trace.Trace, error) {
+// extTrace returns the (cached) mid-size community trace the extension
+// experiments run on.
+func extTrace(seed int64) (*trace.Trace, error) {
 	g := &mobility.Community{
 		TraceName: "ext-community", N: 40, Duration: 12 * mobility.Day, Communities: 4,
 		IntraRate: 8.0 / mobility.Day, InterRate: 1.0 / mobility.Day, RateShape: 0.8,
 		InterPairFraction: 0.7, HubFraction: 0.1, HubBoost: 3, MeanContactDur: 180,
 	}
-	tr, err := g.Generate(seed)
-	if err != nil {
-		return Scenario{}, nil, err
-	}
-	sc := Scenario{
+	return sharedTraces.GetFunc("ext-community", seed, g.Generate)
+}
+
+// extScenario builds the mid-size community scenario used by the
+// extension experiments (smaller than the presets so multi-seed sweeps
+// stay fast, but structurally identical).
+func extScenario(seed int64) Scenario {
+	return Scenario{
 		TracePreset:     "ext-community",
 		NumItems:        3,
 		RefreshInterval: 4 * mobility.Hour,
@@ -60,16 +76,12 @@ func extScenario(seed int64) (Scenario, *trace.Trace, error) {
 		QueryRate:       1.0 / (2 * mobility.Hour),
 		Seed:            seed,
 	}
-	return sc, tr, nil
 }
 
-// runExt runs the extension scenario once with config tweaks.
-func runExt(seed int64, schemeName string, mutate func(*core.Config)) (metrics.Result, error) {
-	sc, tr, err := extScenario(seed)
-	if err != nil {
-		return metrics.Result{}, err
-	}
-	sc = sc.withDefaults()
+// runExtOn runs the extension scenario on the given trace with config
+// tweaks; seed drives the protocol and workload randomness.
+func runExtOn(tr *trace.Trace, seed int64, schemeName string, mutate func(*core.Config)) (metrics.Result, error) {
+	sc := extScenario(seed).withDefaults()
 	cat, err := sc.buildCatalog()
 	if err != nil {
 		return metrics.Result{}, err
@@ -97,14 +109,27 @@ func runExt(seed int64, schemeName string, mutate func(*core.Config)) (metrics.R
 	return eng.Run()
 }
 
-func runE11(opts Options) ([]*Table, error) {
-	n := replicas(opts)
-	schemes := []string{"direct", "hierarchical", "epidemic"}
-
-	churnTable := &Table{
-		ID: "E11", Title: "Freshness under node churn (duty cycle sweep, mean ± CI95 over seeds)",
-		Header: []string{"dutyCycle", "direct", "hierarchical", "epidemic", "hierCI95"},
+// runExtCell is the sweep-cell body of the ported extension experiments:
+// the trace comes from the shared cache keyed by the cell's TraceSeed (so
+// all cells of one replicate are paired on a common trace), the protocol
+// and workload randomness from the cell's derived Seed.
+func runExtCell(opts Options, c Cell, mutate func(*core.Config)) (metrics.Result, error) {
+	tr, err := extTrace(c.TraceSeed)
+	if err != nil {
+		return metrics.Result{}, err
 	}
+	res, err := runExtOn(tr, c.Seed, c.Scheme, mutate)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	opts.record(res)
+	return res, nil
+}
+
+func runE11(opts Options) ([]*Table, error) {
+	schemes := []string{"direct", "hierarchical", "epidemic"}
+	const hier = 1 // index of "hierarchical" in the scheme axis
+
 	type churnPoint struct {
 		duty     float64
 		up, down float64
@@ -118,132 +143,117 @@ func runE11(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		points = points[:2]
 	}
-	for _, p := range points {
-		row := []any{p.duty}
-		var hierCI float64
-		for _, name := range schemes {
-			name := name
-			p := p
-			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				res, err := runExt(seed, name, func(c *core.Config) {
-					if p.up > 0 {
-						c.Churn = network.ChurnConfig{MeanUp: p.up, MeanDown: p.down}
-					}
-				})
-				if err != nil {
-					return 0, err
-				}
-				return res.FreshnessRatio, nil
-			})
-			if err != nil {
-				return nil, err
+	churnRes, err := extSweep(opts, "E11-churn", len(points), schemes).Run(func(c Cell) ([]float64, error) {
+		p := points[c.Point]
+		res, err := runExtCell(opts, c, func(cfg *core.Config) {
+			if p.up > 0 {
+				cfg.Churn = network.ChurnConfig{MeanUp: p.up, MeanDown: p.down}
 			}
-			row = append(row, mean)
-			if name == "hierarchical" {
-				hierCI = ci
-			}
+		})
+		if err != nil {
+			return nil, err
 		}
-		row = append(row, hierCI)
+		return []float64{res.FreshnessRatio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	churnTable := &Table{
+		ID: "E11", Title: "Freshness under node churn (duty cycle sweep, mean ± CI95 over seeds)",
+		Header: []string{"dutyCycle", "direct", "hierarchical", "epidemic", "hierCI95"},
+	}
+	for pt, p := range points {
+		row := []any{p.duty}
+		for si := range schemes {
+			row = append(row, churnRes.Mean(0, pt, si, 0))
+		}
+		row = append(row, churnRes.CI95(0, pt, hier, 0))
 		churnTable.AddRow(row...)
 	}
 
-	lossTable := &Table{
-		ID: "E11", Title: "Freshness under message loss (mean ± CI95 over seeds)",
-		Header: []string{"dropProb", "direct", "hierarchical", "epidemic", "hierCI95"},
-	}
 	drops := []float64{0, 0.1, 0.3, 0.5}
 	if opts.Quick {
 		drops = drops[:2]
 	}
-	for _, drop := range drops {
-		row := []any{drop}
-		var hierCI float64
-		for _, name := range schemes {
-			name := name
-			drop := drop
-			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				res, err := runExt(seed, name, func(c *core.Config) { c.DropProb = drop })
-				if err != nil {
-					return 0, err
-				}
-				return res.FreshnessRatio, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, mean)
-			if name == "hierarchical" {
-				hierCI = ci
-			}
+	lossRes, err := extSweep(opts, "E11-loss", len(drops), schemes).Run(func(c Cell) ([]float64, error) {
+		res, err := runExtCell(opts, c, func(cfg *core.Config) { cfg.DropProb = drops[c.Point] })
+		if err != nil {
+			return nil, err
 		}
-		row = append(row, hierCI)
+		return []float64{res.FreshnessRatio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lossTable := &Table{
+		ID: "E11", Title: "Freshness under message loss (mean ± CI95 over seeds)",
+		Header: []string{"dropProb", "direct", "hierarchical", "epidemic", "hierCI95"},
+	}
+	for pt, drop := range drops {
+		row := []any{drop}
+		for si := range schemes {
+			row = append(row, lossRes.Mean(0, pt, si, 0))
+		}
+		row = append(row, lossRes.CI95(0, pt, hier, 0))
 		lossTable.AddRow(row...)
 	}
 	return []*Table{churnTable, lossTable}, nil
 }
 
 func runE12(opts Options) ([]*Table, error) {
-	n := replicas(opts)
+	schemes := []string{"direct-rep", "hierarchical"}
+	modes := []struct {
+		label string
+		k     core.KnowledgeMode
+	}{
+		{"oracle", core.KnowledgeOracle},
+		{"distributed", core.KnowledgeDistributed},
+	}
+	res, err := extSweep(opts, "E12", len(modes), schemes).Run(func(c Cell) ([]float64, error) {
+		r, err := runExtCell(opts, c, func(cfg *core.Config) { cfg.Knowledge = modes[c.Point].k })
+		if err != nil {
+			return nil, err
+		}
+		return []float64{r.FreshnessRatio, r.TxPerVersion, r.OnTimeRatio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID: "E12", Title: "Cost of realistic knowledge: oracle vs distributed rate estimates (mean over seeds)",
 		Header: []string{"scheme", "knowledge", "freshness", "freshCI95", "tx/version", "onTime"},
 	}
-	for _, name := range []string{"direct-rep", "hierarchical"} {
-		for _, mode := range []struct {
-			label string
-			k     core.KnowledgeMode
-		}{
-			{"oracle", core.KnowledgeOracle},
-			{"distributed", core.KnowledgeDistributed},
-		} {
-			name := name
-			mode := mode
-			var txSum, onTimeSum float64
-			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				res, err := runExt(seed, name, func(c *core.Config) { c.Knowledge = mode.k })
-				if err != nil {
-					return 0, err
-				}
-				txSum += res.TxPerVersion
-				onTimeSum += res.OnTimeRatio
-				return res.FreshnessRatio, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, mode.label, mean, ci, txSum/float64(n), onTimeSum/float64(n))
+	for si, name := range schemes {
+		for pt, mode := range modes {
+			t.AddRow(name, mode.label, res.Mean(0, pt, si, 0), res.CI95(0, pt, si, 0),
+				res.Mean(0, pt, si, 1), res.Mean(0, pt, si, 2))
 		}
 	}
 	return []*Table{t}, nil
 }
 
 func runE13(opts Options) ([]*Table, error) {
-	n := replicas(opts)
-	t := &Table{
-		ID: "E13", Title: "Extended baseline panel (mean over seeds)",
-		Header: []string{"scheme", "freshness", "freshCI95", "validAccess", "tx/version", "sourceTxShare"},
-	}
 	names := []string{"norefresh", "direct", "direct-rep", "spray", "random-rep", "hierarchical-norep", "hierarchical", "epidemic"}
 	if opts.Quick {
 		names = []string{"direct", "spray", "hierarchical"}
 	}
-	for _, name := range names {
-		name := name
-		var validSum, txSum, shareSum float64
-		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-			res, err := runExt(seed, name, nil)
-			if err != nil {
-				return 0, err
-			}
-			validSum += res.ValidAccessRate
-			txSum += res.TxPerVersion
-			shareSum += res.SourceTxShare
-			return res.FreshnessRatio, nil
-		})
+	res, err := extSweep(opts, "E13", 1, names).Run(func(c Cell) ([]float64, error) {
+		r, err := runExtCell(opts, c, nil)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, mean, ci, validSum/float64(n), txSum/float64(n), shareSum/float64(n))
+		return []float64{r.FreshnessRatio, r.ValidAccessRate, r.TxPerVersion, r.SourceTxShare}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E13", Title: "Extended baseline panel (mean over seeds)",
+		Header: []string{"scheme", "freshness", "freshCI95", "validAccess", "tx/version", "sourceTxShare"},
+	}
+	for si, name := range names {
+		t.AddRow(name, res.Mean(0, 0, si, 0), res.CI95(0, 0, si, 0),
+			res.Mean(0, 0, si, 1), res.Mean(0, 0, si, 2), res.Mean(0, 0, si, 3))
 	}
 	return []*Table{t}, nil
 }
@@ -262,15 +272,12 @@ func runE14(opts Options) ([]*Table, error) {
 		days := days
 		var txSum float64
 		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-			tr, err := mobility.DriftingCommunity(40, 8*mobility.Day).Generate(seed)
+			tr, err := sharedTraces.GetFunc("drift-community", seed,
+				mobility.DriftingCommunity(40, 8*mobility.Day).Generate)
 			if err != nil {
 				return 0, err
 			}
-			sc, _, err := extScenario(seed)
-			if err != nil {
-				return 0, err
-			}
-			sc = sc.withDefaults()
+			sc := extScenario(seed).withDefaults()
 			cat, err := sc.buildCatalog()
 			if err != nil {
 				return 0, err
@@ -291,6 +298,7 @@ func runE14(opts Options) ([]*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			opts.record(res)
 			txSum += res.TxPerVersion
 			return res.FreshnessRatio, nil
 		})
@@ -304,31 +312,28 @@ func runE14(opts Options) ([]*Table, error) {
 }
 
 func runE15(opts Options) ([]*Table, error) {
-	n := replicas(opts)
+	schemes := []string{"direct", "hierarchical"}
+	placements := []centrality.Placement{
+		centrality.PlaceRandom, centrality.PlaceTopCentrality, centrality.PlaceGreedyCoverage,
+	}
+	res, err := extSweep(opts, "E15", len(placements), schemes).Run(func(c Cell) ([]float64, error) {
+		r, err := runExtCell(opts, c, func(cfg *core.Config) { cfg.Placement = placements[c.Point] })
+		if err != nil {
+			return nil, err
+		}
+		return []float64{r.FreshnessRatio, r.ValidAccessRate}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID: "E15", Title: "Caching-node placement policies (mean ± CI95 over seeds)",
 		Header: []string{"placement", "scheme", "freshness", "freshCI95", "validAccess"},
 	}
-	placements := []centrality.Placement{
-		centrality.PlaceRandom, centrality.PlaceTopCentrality, centrality.PlaceGreedyCoverage,
-	}
-	for _, p := range placements {
-		for _, name := range []string{"direct", "hierarchical"} {
-			p := p
-			name := name
-			var validSum float64
-			mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				res, err := runExt(seed, name, func(c *core.Config) { c.Placement = p })
-				if err != nil {
-					return 0, err
-				}
-				validSum += res.ValidAccessRate
-				return res.FreshnessRatio, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(p.String(), name, mean, ci, validSum/float64(n))
+	for pt, p := range placements {
+		for si, name := range schemes {
+			t.AddRow(p.String(), name, res.Mean(0, pt, si, 0), res.CI95(0, pt, si, 0),
+				res.Mean(0, pt, si, 1))
 		}
 	}
 	return []*Table{t}, nil
@@ -350,10 +355,11 @@ func runE16(opts Options) ([]*Table, error) {
 			policy := policy
 			var validSum, answeredSum float64
 			mean, _, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				sc, tr, err := extScenario(seed)
+				tr, err := extTrace(seed)
 				if err != nil {
 					return 0, err
 				}
+				sc := extScenario(seed)
 				sc.NumItems = 20
 				sc = sc.withDefaults()
 				cat, err := sc.buildCatalog()
@@ -377,6 +383,7 @@ func runE16(opts Options) ([]*Table, error) {
 				if err != nil {
 					return 0, err
 				}
+				opts.record(res)
 				validSum += res.ValidAccessRate
 				answeredSum += res.AnsweredOK
 				return res.FreshnessRatio, nil
@@ -465,38 +472,33 @@ func runE17(opts Options) ([]*Table, error) {
 }
 
 func runE18(opts Options) ([]*Table, error) {
-	n := replicas(opts)
-	t := &Table{
-		ID: "E18", Title: "Query delegation: relayed access path (mean over seeds)",
-		Header: []string{"scheme", "queryRelays", "answered", "validAccess", "accessDelay(h)", "queryTx/query"},
-	}
+	schemes := []string{"direct", "hierarchical"}
 	relayCounts := []int{0, 1, 3}
 	if opts.Quick {
 		relayCounts = relayCounts[:2]
 	}
-	for _, name := range []string{"direct", "hierarchical"} {
-		for _, relays := range relayCounts {
-			name := name
-			relays := relays
-			var answeredSum, validSum, delaySum, qtxSum float64
-			_, _, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				res, err := runExt(seed, name, func(c *core.Config) { c.QueryRelays = relays })
-				if err != nil {
-					return 0, err
-				}
-				answeredSum += res.AnsweredOK
-				validSum += res.ValidAccessRate
-				delaySum += res.MeanAccessDelaySec / mobility.Hour
-				if res.Queries > 0 {
-					qtxSum += float64(res.TransmissionsByKind["query"]) / float64(res.Queries)
-				}
-				return res.AnsweredOK, nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			nf := float64(n)
-			t.AddRow(name, relays, answeredSum/nf, validSum/nf, delaySum/nf, qtxSum/nf)
+	res, err := extSweep(opts, "E18", len(relayCounts), schemes).Run(func(c Cell) ([]float64, error) {
+		r, err := runExtCell(opts, c, func(cfg *core.Config) { cfg.QueryRelays = relayCounts[c.Point] })
+		if err != nil {
+			return nil, err
+		}
+		qtx := 0.0
+		if r.Queries > 0 {
+			qtx = float64(r.TransmissionsByKind["query"]) / float64(r.Queries)
+		}
+		return []float64{r.AnsweredOK, r.ValidAccessRate, r.MeanAccessDelaySec / mobility.Hour, qtx}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E18", Title: "Query delegation: relayed access path (mean over seeds)",
+		Header: []string{"scheme", "queryRelays", "answered", "validAccess", "accessDelay(h)", "queryTx/query"},
+	}
+	for si, name := range schemes {
+		for pt, relays := range relayCounts {
+			t.AddRow(name, relays, res.Mean(0, pt, si, 0), res.Mean(0, pt, si, 1),
+				res.Mean(0, pt, si, 2), res.Mean(0, pt, si, 3))
 		}
 	}
 	return []*Table{t}, nil
@@ -570,33 +572,27 @@ func runE19(opts Options) ([]*Table, error) {
 }
 
 func runE20(opts Options) ([]*Table, error) {
-	n := replicas(opts)
-	t := &Table{
-		ID: "E20", Title: "Hierarchy fan-out bound ablation (mean over seeds)",
-		Header: []string{"maxFanout", "freshness", "freshCI95", "tx/version", "sourceTxShare", "meanTreeDepth"},
-	}
 	fanouts := []int{1, 2, 3, 5, 8}
 	if opts.Quick {
 		fanouts = fanouts[:2]
 	}
-	for _, fanout := range fanouts {
-		fanout := fanout
-		var txSum, shareSum, depthSum float64
-		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-			res, err := runExt(seed, "hierarchical", func(c *core.Config) { c.MaxFanout = fanout })
-			if err != nil {
-				return 0, err
-			}
-			txSum += res.TxPerVersion
-			shareSum += res.SourceTxShare
-			depthSum += res.SchemeStats["meanTreeDepth"]
-			return res.FreshnessRatio, nil
-		})
+	res, err := extSweep(opts, "E20", len(fanouts), []string{"hierarchical"}).Run(func(c Cell) ([]float64, error) {
+		r, err := runExtCell(opts, c, func(cfg *core.Config) { cfg.MaxFanout = fanouts[c.Point] })
 		if err != nil {
 			return nil, err
 		}
-		nf := float64(n)
-		t.AddRow(fanout, mean, ci, txSum/nf, shareSum/nf, depthSum/nf)
+		return []float64{r.FreshnessRatio, r.TxPerVersion, r.SourceTxShare, r.SchemeStats["meanTreeDepth"]}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E20", Title: "Hierarchy fan-out bound ablation (mean over seeds)",
+		Header: []string{"maxFanout", "freshness", "freshCI95", "tx/version", "sourceTxShare", "meanTreeDepth"},
+	}
+	for pt, fanout := range fanouts {
+		t.AddRow(fanout, res.Mean(0, pt, 0, 0), res.CI95(0, pt, 0, 0),
+			res.Mean(0, pt, 0, 1), res.Mean(0, pt, 0, 2), res.Mean(0, pt, 0, 3))
 	}
 	return []*Table{t}, nil
 }

@@ -33,14 +33,14 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestCellFormats(t *testing.T) {
-	if Cell(0.123456789) != "0.1235" {
-		t.Fatalf("float cell = %q", Cell(0.123456789))
+	if CellValue(0.123456789) != "0.1235" {
+		t.Fatalf("float cell = %q", CellValue(0.123456789))
 	}
-	if Cell(42) != "42" {
-		t.Fatalf("int cell = %q", Cell(42))
+	if CellValue(42) != "42" {
+		t.Fatalf("int cell = %q", CellValue(42))
 	}
-	if Cell("s") != "s" {
-		t.Fatalf("string cell = %q", Cell("s"))
+	if CellValue("s") != "s" {
+		t.Fatalf("string cell = %q", CellValue("s"))
 	}
 }
 

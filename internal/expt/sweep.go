@@ -1,0 +1,332 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"freshcache/internal/mobility"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// This file is the deterministic worker-pool sweep runner the hot
+// experiments fan out on. A Sweep enumerates one experiment's
+// (preset × sweep point × scheme × replicate) cell grid in a fixed order,
+// evaluates every cell on min(GOMAXPROCS, Parallel) workers, and assembles
+// the results by cell index — so tables are byte-identical to a sequential
+// run regardless of scheduling. Determinism rests on two invariants:
+// every cell derives its own RNG seed from its grid coordinates (no shared
+// mutable randomness), and generated traces are immutable once published
+// by the cache (cells only read them).
+
+// Cell identifies one unit of work in a sweep grid and carries its derived
+// randomness.
+type Cell struct {
+	Experiment string
+	Preset     string
+	Point      int // index into the sweep's point axis
+	Scheme     string
+	Replicate  int
+
+	// Seed drives the cell's protocol and workload randomness. It is
+	// derived from (base seed, experiment, preset, point, scheme,
+	// replicate) via stats.DeriveSeed, so it does not depend on which
+	// worker runs the cell or in what order.
+	Seed int64
+	// TraceSeed seeds trace generation. It depends only on the base seed
+	// and the replicate, so all cells of one replicate share a trace:
+	// scheme and sweep-point comparisons are paired (common trace), and the
+	// shared cache generates each trace once per process instead of per
+	// cell.
+	TraceSeed int64
+}
+
+// CellFunc evaluates one cell and returns its metric vector. Every cell of
+// a sweep must return the same number of metrics.
+type CellFunc func(c Cell) ([]float64, error)
+
+// Sweep describes one experiment's cell grid and its execution policy.
+type Sweep struct {
+	// Experiment is the stable ID mixed into every cell seed.
+	Experiment string
+	// Presets, Points and Schemes span the grid. An empty scheme axis
+	// means a single implicit scheme "".
+	Presets []string
+	Points  int
+	Schemes []string
+	// Replicates is the number of independent runs per cell (default 1).
+	// With R > 1 the result reports mean ± stderr.
+	Replicates int
+	// Parallel bounds the worker pool; the effective pool size is
+	// min(GOMAXPROCS, Parallel), and 0 means GOMAXPROCS.
+	Parallel int
+	// BaseSeed is the experiment's base seed.
+	BaseSeed int64
+}
+
+func (s Sweep) schemes() []string {
+	if len(s.Schemes) == 0 {
+		return []string{""}
+	}
+	return s.Schemes
+}
+
+func (s Sweep) replicates() int {
+	if s.Replicates < 1 {
+		return 1
+	}
+	return s.Replicates
+}
+
+func (s Sweep) workers(cells int) int {
+	w := s.Parallel
+	if w < 1 || w > runtime.GOMAXPROCS(0) {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cells enumerates the grid in deterministic order: preset-major, then
+// point, scheme, replicate.
+func (s Sweep) cells() []Cell {
+	schemes := s.schemes()
+	reps := s.replicates()
+	out := make([]Cell, 0, len(s.Presets)*s.Points*len(schemes)*reps)
+	for _, preset := range s.Presets {
+		for pt := 0; pt < s.Points; pt++ {
+			for _, scheme := range schemes {
+				for rep := 0; rep < reps; rep++ {
+					out = append(out, Cell{
+						Experiment: s.Experiment,
+						Preset:     preset,
+						Point:      pt,
+						Scheme:     scheme,
+						Replicate:  rep,
+						Seed: stats.DeriveSeed(s.BaseSeed, s.Experiment, preset,
+							strconv.Itoa(pt), scheme, strconv.Itoa(rep)),
+						TraceSeed: s.BaseSeed + int64(rep),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run evaluates every cell of the grid on the worker pool and returns the
+// assembled result. The first failing cell (in grid order) determines the
+// returned error; remaining cells are abandoned.
+func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
+	if s.Points <= 0 {
+		return nil, fmt.Errorf("expt: sweep %s has no points", s.Experiment)
+	}
+	if len(s.Presets) == 0 {
+		return nil, fmt.Errorf("expt: sweep %s has no presets", s.Experiment)
+	}
+	cells := s.cells()
+	runs := make([][]float64, len(cells))
+	errs := make([]error, len(cells))
+
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := s.workers(len(cells)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue // drain: a cell already failed
+				}
+				v, err := fn(cells[i])
+				runs[i], errs[i] = v, err
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("expt: %s preset=%s point=%d scheme=%q replicate=%d: %w",
+				c.Experiment, c.Preset, c.Point, c.Scheme, c.Replicate, err)
+		}
+	}
+	width := -1
+	for i, v := range runs {
+		if width == -1 {
+			width = len(v)
+		}
+		if len(v) != width {
+			c := cells[i]
+			return nil, fmt.Errorf("expt: %s preset=%s point=%d scheme=%q: metric vector length %d, want %d",
+				c.Experiment, c.Preset, c.Point, c.Scheme, len(v), width)
+		}
+	}
+	return &SweepResult{sweep: s, reps: s.replicates(), width: width, runs: runs}, nil
+}
+
+// SweepResult holds every cell's metric vectors, addressable by grid
+// coordinates (preset index, point, scheme index, metric index).
+type SweepResult struct {
+	sweep Sweep
+	reps  int
+	width int
+	runs  [][]float64 // grid order, replicate innermost
+}
+
+// Replicates returns the number of runs per cell.
+func (r *SweepResult) Replicates() int { return r.reps }
+
+// Metrics returns the per-cell metric vector length.
+func (r *SweepResult) Metrics() int { return r.width }
+
+func (r *SweepResult) base(preset, point, scheme int) int {
+	nSchemes := len(r.sweep.schemes())
+	if preset < 0 || preset >= len(r.sweep.Presets) ||
+		point < 0 || point >= r.sweep.Points ||
+		scheme < 0 || scheme >= nSchemes {
+		panic(fmt.Sprintf("expt: sweep cell (%d,%d,%d) out of grid", preset, point, scheme))
+	}
+	return ((preset*r.sweep.Points+point)*nSchemes + scheme) * r.reps
+}
+
+// metricRuns collects the replicate values of one metric in one cell.
+func (r *SweepResult) metricRuns(preset, point, scheme, metric int) []float64 {
+	if metric < 0 || metric >= r.width {
+		panic(fmt.Sprintf("expt: metric %d out of range (%d metrics)", metric, r.width))
+	}
+	base := r.base(preset, point, scheme)
+	out := make([]float64, r.reps)
+	for rep := 0; rep < r.reps; rep++ {
+		out[rep] = r.runs[base+rep][metric]
+	}
+	return out
+}
+
+// Mean returns the replicate mean of one cell metric.
+func (r *SweepResult) Mean(preset, point, scheme, metric int) float64 {
+	return stats.Mean(r.metricRuns(preset, point, scheme, metric))
+}
+
+// Stderr returns the standard error of the replicate mean (0 for a single
+// replicate).
+func (r *SweepResult) Stderr(preset, point, scheme, metric int) float64 {
+	xs := r.metricRuns(preset, point, scheme, metric)
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := stats.Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}
+
+// CI95 returns the 95% confidence half-width of the replicate mean.
+func (r *SweepResult) CI95(preset, point, scheme, metric int) float64 {
+	return stats.CI95(r.metricRuns(preset, point, scheme, metric))
+}
+
+// Value returns the cell metric as a table cell: the plain value for a
+// single replicate, "mean±stderr" otherwise.
+func (r *SweepResult) Value(preset, point, scheme, metric int) any {
+	if r.reps == 1 {
+		return r.Mean(preset, point, scheme, metric)
+	}
+	return fmt.Sprintf("%s±%s",
+		CellValue(r.Mean(preset, point, scheme, metric)),
+		CellValue(r.Stderr(preset, point, scheme, metric)))
+}
+
+// TraceCache memoizes generated traces by (name, seed) so a sweep's cells
+// — and successive experiments over the same preset — share one immutable
+// trace instead of regenerating it. Generation is single-flight: under a
+// concurrent sweep exactly one worker generates, the rest wait.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+}
+
+type traceKey struct {
+	name string
+	seed int64
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: make(map[traceKey]*traceEntry)}
+}
+
+// Get returns the cached trace for a mobility preset and seed, generating
+// it on first use.
+func (c *TraceCache) Get(preset string, seed int64) (*trace.Trace, error) {
+	return c.GetFunc(preset, seed, func(seed int64) (*trace.Trace, error) {
+		g, err := mobility.Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		return g.Generate(seed)
+	})
+}
+
+// GetFunc returns the cached trace under (key, seed), invoking gen exactly
+// once per key to produce it. The caller promises gen is deterministic for
+// the key and that the returned trace is never mutated.
+func (c *TraceCache) GetFunc(key string, seed int64, gen func(seed int64) (*trace.Trace, error)) (*trace.Trace, error) {
+	k := traceKey{name: key, seed: seed}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &traceEntry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.tr, e.err = gen(seed)
+	})
+	return e.tr, e.err
+}
+
+// Len reports how many traces the cache holds (including failed entries).
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached trace.
+func (c *TraceCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[traceKey]*traceEntry)
+}
+
+// sharedTraces is the process-wide cache the experiment suite runs on.
+var sharedTraces = NewTraceCache()

@@ -19,18 +19,18 @@ type Table struct {
 	Rows   [][]string
 }
 
-// AddRow appends a row, converting each cell with Cell.
+// AddRow appends a row, converting each cell with CellValue.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		row[i] = Cell(c)
+		row[i] = CellValue(c)
 	}
 	t.Rows = append(t.Rows, row)
 }
 
-// Cell renders one value for table output: floats with 4 significant
+// CellValue renders one value for table output: floats with 4 significant
 // digits, everything else via fmt.
-func Cell(v any) string {
+func CellValue(v any) string {
 	switch x := v.(type) {
 	case float64:
 		return strconv.FormatFloat(x, 'g', 4, 64)

@@ -60,11 +60,21 @@ func (c *Collector) RecordGeneration() {
 	c.generated++
 }
 
-// Samples returns the freshness time series.
-func (c *Collector) Samples() []Sample { return c.samples }
+// Samples returns a copy of the freshness time series. Callers may sort or
+// mutate the returned slice freely without corrupting the collector.
+func (c *Collector) Samples() []Sample {
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
 
-// Deliveries returns the raw delivery log.
-func (c *Collector) Deliveries() []Delivery { return c.deliveries }
+// Deliveries returns a copy of the raw delivery log. Callers may reorder it
+// (e.g. via SortDeliveries) without corrupting the collector.
+func (c *Collector) Deliveries() []Delivery {
+	out := make([]Delivery, len(c.deliveries))
+	copy(out, c.deliveries)
+	return out
+}
 
 // Generated returns the number of versions generated.
 func (c *Collector) Generated() int { return c.generated }

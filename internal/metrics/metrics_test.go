@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"strings"
+	"sync"
 	"testing"
 
 	"freshcache/internal/cache"
@@ -131,6 +133,76 @@ func TestSortDeliveries(t *testing.T) {
 	}
 	if ds[2].Node != 1 || ds[3].Item != 1 {
 		t.Fatalf("order: %+v", ds)
+	}
+}
+
+// Samples and Deliveries hand out defensive copies: sorting or mutating
+// what they return must not corrupt the collector's internal logs.
+func TestAccessorsReturnCopies(t *testing.T) {
+	c := New()
+	c.RecordSample(10, 0.25)
+	c.RecordSample(20, 0.75)
+	c.RecordDelivery(Delivery{Item: 1, Version: 2, Node: 3, GeneratedAt: 0, DeliveredAt: 50, OnTime: true})
+	c.RecordDelivery(Delivery{Item: 0, Version: 0, Node: 0, GeneratedAt: 0, DeliveredAt: 5, OnTime: false})
+
+	smp := c.Samples()
+	smp[0] = Sample{Time: -1, Ratio: -1}
+	if got := c.Samples()[0]; got.Time != 10 || got.Ratio != 0.25 {
+		t.Fatalf("sample log corrupted through accessor: %+v", got)
+	}
+
+	ds := c.Deliveries()
+	SortDeliveries(ds) // reorders the copy: delivery 2 sorts first
+	ds[0].Item = 99
+	fresh := c.Deliveries()
+	if fresh[0].Item != 1 || fresh[0].DeliveredAt != 50 {
+		t.Fatalf("delivery log corrupted through accessor: %+v", fresh[0])
+	}
+}
+
+func TestRunStatsAccumulates(t *testing.T) {
+	s := NewRunStats()
+	s.Record(Result{SimulatedEventCount: 100, WallClockSeconds: 0.5,
+		TransmissionsByKind: map[string]int{"refresh": 4, "relay": 2}})
+	s.Record(Result{SimulatedEventCount: 50, WallClockSeconds: 0.25,
+		TransmissionsByKind: map[string]int{"refresh": 1}})
+	if s.Runs() != 2 || s.Events() != 150 || s.Transmissions() != 7 {
+		t.Fatalf("totals: runs=%d events=%d tx=%d", s.Runs(), s.Events(), s.Transmissions())
+	}
+	if math.Abs(s.RunSeconds()-0.75) > 1e-12 {
+		t.Fatalf("run seconds = %v", s.RunSeconds())
+	}
+	byKind := s.TxByKind()
+	if byKind["refresh"] != 5 || byKind["relay"] != 2 {
+		t.Fatalf("by kind: %v", byKind)
+	}
+	byKind["refresh"] = 0 // copy: must not write through
+	if s.TxByKind()["refresh"] != 5 {
+		t.Fatal("TxByKind returned internal map")
+	}
+	sum := s.Summary(0.5)
+	for _, want := range []string{"cells=2", "events=150", "tx=7", "refresh 5", "relay 2", "cells/s"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestRunStatsConcurrent(t *testing.T) {
+	s := NewRunStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Record(Result{SimulatedEventCount: 1, TransmissionsByKind: map[string]int{"refresh": 1}})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Runs() != 800 || s.Events() != 800 || s.Transmissions() != 800 {
+		t.Fatalf("concurrent totals: runs=%d events=%d tx=%d", s.Runs(), s.Events(), s.Transmissions())
 	}
 }
 

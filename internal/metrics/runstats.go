@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RunStats accumulates execution statistics across the simulation runs
+// ("cells") of one experiment or sweep: discrete events processed by the
+// event engine, transmissions by kind, and summed per-run wall time. It is
+// safe for concurrent use, so the parallel sweep runner's workers can
+// record into one shared instance.
+type RunStats struct {
+	mu      sync.Mutex
+	runs    int
+	events  uint64
+	tx      int
+	txKind  map[string]int
+	seconds float64
+}
+
+// NewRunStats returns an empty accumulator.
+func NewRunStats() *RunStats {
+	return &RunStats{txKind: make(map[string]int)}
+}
+
+// Record folds one run's result into the accumulator.
+func (s *RunStats) Record(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs++
+	s.events += r.SimulatedEventCount
+	s.seconds += r.WallClockSeconds
+	for kind, n := range r.TransmissionsByKind {
+		s.txKind[kind] += n
+		s.tx += n
+	}
+}
+
+// Runs reports how many simulation runs were recorded.
+func (s *RunStats) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}
+
+// Events reports the total discrete events processed across runs.
+func (s *RunStats) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Transmissions reports the total transmissions of all kinds across runs.
+func (s *RunStats) Transmissions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx
+}
+
+// TxByKind returns a copy of the per-kind transmission totals.
+func (s *RunStats) TxByKind() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.txKind))
+	for k, v := range s.txKind {
+		out[k] = v
+	}
+	return out
+}
+
+// RunSeconds reports the summed per-run wall time. Under a parallel sweep
+// this exceeds the sweep's elapsed time — the ratio is the effective
+// speedup.
+func (s *RunStats) RunSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seconds
+}
+
+// Summary renders the block in one line given the enclosing experiment's
+// elapsed wall-clock seconds (which determines cells/sec).
+func (s *RunStats) Summary(wallSeconds float64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "cells=%d", s.runs)
+	if wallSeconds > 0 {
+		fmt.Fprintf(&b, " (%.1f cells/s)", float64(s.runs)/wallSeconds)
+	}
+	fmt.Fprintf(&b, " events=%d tx=%d", s.events, s.tx)
+	if len(s.txKind) > 0 {
+		kinds := make([]string, 0, len(s.txKind))
+		for k := range s.txKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s %d", k, s.txKind[k])
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, " simWall=%.2fs", s.seconds)
+	return b.String()
+}

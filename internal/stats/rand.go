@@ -39,6 +39,30 @@ func Derive(seed int64, label string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h)))
 }
 
+// DeriveSeed hashes a base seed and a sequence of labels (FNV-1a, with a
+// separator folded in after each label so ("ab","c") and ("a","bc") map to
+// different seeds) into a child seed. Sweep runners use it to give every
+// (experiment, preset, point, scheme, replicate) cell its own stable RNG
+// stream, so results do not depend on execution order.
+func DeriveSeed(seed int64, labels ...string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, label := range labels {
+		for i := 0; i < len(label); i++ {
+			h ^= uint64(label[i])
+			h *= prime64
+		}
+		h ^= 0x1f // unit separator: label boundaries matter
+		h *= prime64
+	}
+	h ^= uint64(seed)
+	h *= prime64
+	return int64(h)
+}
+
 // Exp draws from an exponential distribution with the given rate
 // (mean 1/rate). It panics if rate <= 0 since that is a programming error,
 // not a data error.
@@ -134,14 +158,19 @@ func BoundedPareto(rng *rand.Rand, lo, hi, alpha float64) float64 {
 	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
 }
 
-// Zipf samples ranks in [0, n) with Zipf exponent s >= 1 (rank 0 most
-// popular). It wraps math/rand's rejection-inversion sampler.
+// Zipf samples ranks in [0, n) with Zipf exponent s > 0 (rank 0 most
+// popular). It wraps math/rand's rejection-inversion sampler, which
+// requires s > 1: exponents in (0, 1] are clamped to 1.0001, the
+// near-uniform boundary case workloads may legitimately request. A
+// non-positive exponent is a programming error and panics, consistent
+// with BoundedPareto's parameter validation.
 func Zipf(rng *rand.Rand, s float64, n int) func() int {
 	if n <= 0 {
 		panic(fmt.Sprintf("stats: non-positive zipf support %d", n))
 	}
-	// rand.NewZipf requires s > 1; clamp just above 1 for the uniform-ish
-	// boundary case callers may request.
+	if s <= 0 {
+		panic(fmt.Sprintf("stats: non-positive zipf exponent %v", s))
+	}
 	if s <= 1 {
 		s = 1.0001
 	}

@@ -37,6 +37,41 @@ func TestDeriveStableAcrossCalls(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(42, "E2", "infocom-like", "0", "direct")
+	b := DeriveSeed(42, "E2", "infocom-like", "0", "direct")
+	if a != b {
+		t.Fatalf("DeriveSeed not stable: %v != %v", a, b)
+	}
+}
+
+func TestDeriveSeedDistinguishesCells(t *testing.T) {
+	seen := map[int64][]string{}
+	cells := [][]string{
+		{"E2", "infocom-like", "0", "direct"},
+		{"E2", "infocom-like", "1", "direct"},
+		{"E2", "infocom-like", "0", "epidemic"},
+		{"E2", "reality-like", "0", "direct"},
+		{"E3", "infocom-like", "0", "direct"},
+	}
+	for _, labels := range cells {
+		s := DeriveSeed(42, labels...)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %v and %v", prev, labels)
+		}
+		seen[s] = labels
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestDeriveSeedLabelBoundaries(t *testing.T) {
+	if DeriveSeed(0, "ab", "c") == DeriveSeed(0, "a", "bc") {
+		t.Fatal("label boundaries not separated")
+	}
+}
+
 func TestExpMean(t *testing.T) {
 	rng := NewRNG(1)
 	const rate = 2.5
@@ -157,11 +192,25 @@ func TestZipfRange(t *testing.T) {
 
 func TestZipfClampsExponent(t *testing.T) {
 	rng := NewRNG(8)
-	draw := Zipf(rng, 0.5, 5) // below-1 exponent must not panic
+	draw := Zipf(rng, 0.5, 5) // exponent in (0,1] clamps, must not panic
 	for i := 0; i < 100; i++ {
 		if r := draw(); r < 0 || r >= 5 {
 			t.Fatalf("rank %d out of range", r)
 		}
+	}
+}
+
+func TestZipfPanicsOnNonPositiveExponent(t *testing.T) {
+	for _, s := range []float64{0, -1} {
+		s := s
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Zipf(s=%v) did not panic", s)
+				}
+			}()
+			Zipf(NewRNG(8), s, 5)
+		}()
 	}
 }
 
