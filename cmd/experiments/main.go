@@ -8,6 +8,8 @@
 //	experiments -run E2,E5      # selected experiments
 //	experiments -quick          # trimmed sweeps (smoke run)
 //	experiments -csv out/       # also write one CSV per table
+//	experiments -benchjson BENCH.json   # benchmark harness, JSON report
+//	experiments -cpuprofile cpu.pb.gz   # pprof CPU profile of the run
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -41,9 +45,52 @@ func run(args []string) error {
 		par    = fs.Int("parallel", 1, "sweep-cell worker bound per experiment, capped at GOMAXPROCS (experiments themselves also run up to this many at once; output stays in order)")
 		reps   = fs.Int("replicates", 0, "replicates per sweep cell (0 = experiment default; >1 reports mean±stderr)")
 		list   = fs.Bool("list", false, "list the experiment registry and exit")
+
+		benchJSON  = fs.String("benchjson", "", "run the benchmark harness instead of experiments and write a JSON report to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		rep, err := expt.RunBench(*seed)
+		if err != nil {
+			return err
+		}
+		if err := expt.WriteBenchJSON(*benchJSON, rep); err != nil {
+			return err
+		}
+		fmt.Printf("(bench: %.0f ns/contact, %.1f allocs/contact, %.1f cells/s -> %s)\n",
+			rep.NsPerContact, rep.AllocsPerContact, rep.CellsPerSec, *benchJSON)
+		return nil
 	}
 
 	if *list {
@@ -104,6 +151,15 @@ func run(args []string) error {
 		}
 		fmt.Print(r.text)
 	}
+	// Process-wide memory footer. Parenthesized like the per-experiment
+	// stats lines, so determinism checks that strip timing footers strip
+	// this too.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	// HeapSys only grows, so it is the peak OS-mapped heap of the run.
+	fmt.Printf("(mem: totalAlloc=%.1fMB mallocs=%d heapInuse=%.1fMB peakHeapSys=%.1fMB gc=%d)\n",
+		float64(m.TotalAlloc)/(1<<20), m.Mallocs, float64(m.HeapInuse)/(1<<20),
+		float64(m.HeapSys)/(1<<20), m.NumGC)
 	return nil
 }
 

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,9 +56,38 @@ func run(args []string) error {
 		asJSON    = fs.Bool("json", false, "emit the result as JSON")
 		compare   = fs.String("compare", "", "comma-separated schemes to run side by side (overrides -scheme)")
 		runs      = fs.Int("runs", 1, "replicate over this many consecutive seeds and report mean ± CI95")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "freshsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "freshsim: memprofile:", err)
+			}
+		}()
 	}
 
 	specs := make([]freshcache.ItemSpec, *items)

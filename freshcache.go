@@ -612,3 +612,10 @@ func (s *Simulation) DelayCDF(probes ...time.Duration) []float64 {
 func (s *Simulation) FirstDeliveryOnTimeRatio() float64 {
 	return s.eng.Collector().FirstDeliveryOnTimeRatio()
 }
+
+// ContactsDispatched returns how many trace contacts the run dispatched to
+// the protocol stack (after Run) — the unit per-contact benchmarks
+// normalize by.
+func (s *Simulation) ContactsDispatched() int {
+	return s.eng.ContactsDispatched()
+}

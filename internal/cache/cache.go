@@ -115,6 +115,12 @@ func (c *Catalog) Items() []Item {
 	return out
 }
 
+// View returns the catalog's item list in ID order without copying. The
+// catalog is immutable, so the slice is safe to share — callers must not
+// modify it. Hot paths (per-contact scheme dispatch) use View; Items
+// remains for callers that want ownership.
+func (c *Catalog) View() []Item { return c.items }
+
 // CurrentVersion returns the newest version number of the item at time
 // `now`, where version k is generated at epoch + Phase + k·R. Before the
 // item's first generation the version is -1 (nothing generated yet).

@@ -2,7 +2,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Policy selects the store's eviction policy.
@@ -28,15 +27,19 @@ func (p Policy) String() string {
 }
 
 // Store is one node's cache: at most one copy per item, bounded total
-// size, LRU or LFU eviction. The zero value is not usable; create with
-// NewStore.
+// size, LRU or LFU eviction. Item IDs are dense, so the per-item state is
+// flat slices indexed by ItemID — the per-contact lookup path (Peek,
+// Put) does no hashing and no allocation. The zero value is not usable;
+// create with NewStore.
 type Store struct {
 	capacity int // total size units; 0 = unlimited
 	policy   Policy
 	used     int
-	copies   map[ItemID]Copy
-	lastUsed map[ItemID]float64
-	useCount map[ItemID]int
+	present  []bool
+	copies   []Copy
+	lastUsed []float64
+	useCount []int
+	count    int
 	catalog  *Catalog
 
 	evictions int
@@ -59,32 +62,39 @@ func NewStoreWithPolicy(catalog *Catalog, capacity int, policy Policy) (*Store, 
 	if policy != EvictLRU && policy != EvictLFU {
 		return nil, fmt.Errorf("cache: unknown policy %d", int(policy))
 	}
+	n := catalog.Len()
 	return &Store{
 		capacity: capacity,
 		policy:   policy,
-		copies:   make(map[ItemID]Copy),
-		lastUsed: make(map[ItemID]float64),
-		useCount: make(map[ItemID]int),
+		present:  make([]bool, n),
+		copies:   make([]Copy, n),
+		lastUsed: make([]float64, n),
+		useCount: make([]int, n),
 		catalog:  catalog,
 	}, nil
 }
 
+// inRange reports whether the ID indexes the store's dense state.
+func (s *Store) inRange(id ItemID) bool { return id >= 0 && int(id) < len(s.present) }
+
 // Get returns the stored copy of the item, if any, marking it used at
 // time now.
 func (s *Store) Get(id ItemID, now float64) (Copy, bool) {
-	c, ok := s.copies[id]
-	if ok {
-		s.lastUsed[id] = now
-		s.useCount[id]++
+	if !s.inRange(id) || !s.present[id] {
+		return Copy{}, false
 	}
-	return c, ok
+	s.lastUsed[id] = now
+	s.useCount[id]++
+	return s.copies[id], true
 }
 
 // Peek returns the stored copy without touching recency. Used by metrics
 // sampling so observation does not perturb eviction.
 func (s *Store) Peek(id ItemID) (Copy, bool) {
-	c, ok := s.copies[id]
-	return c, ok
+	if !s.inRange(id) || !s.present[id] {
+		return Copy{}, false
+	}
+	return s.copies[id], true
 }
 
 // Put inserts or replaces the copy of an item, evicting least-recently-
@@ -96,8 +106,8 @@ func (s *Store) Put(c Copy, now float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if old, ok := s.copies[c.Item]; ok {
-		if c.Version <= old.Version {
+	if s.present[c.Item] {
+		if c.Version <= s.copies[c.Item].Version {
 			return false, nil
 		}
 		// Same item: replace in place; size unchanged.
@@ -113,9 +123,12 @@ func (s *Store) Put(c Copy, now float64) (bool, error) {
 			return false, err
 		}
 	}
+	s.present[c.Item] = true
 	s.copies[c.Item] = c
 	s.lastUsed[c.Item] = now
+	s.useCount[c.Item] = 0
 	s.used += it.Size
+	s.count++
 	return true, nil
 }
 
@@ -123,14 +136,12 @@ func (s *Store) Put(c Copy, now float64) (bool, error) {
 func (s *Store) evictFor(need int) error {
 	for s.used+need > s.capacity {
 		victim := ItemID(-1)
-		first := true
-		for id := range s.copies {
-			if first {
-				victim, first = id, false
+		for id := range s.present {
+			if !s.present[id] {
 				continue
 			}
-			if s.worseThan(id, victim) {
-				victim = id
+			if victim < 0 || s.worseThan(ItemID(id), victim) {
+				victim = ItemID(id)
 			}
 		}
 		if victim < 0 {
@@ -140,10 +151,7 @@ func (s *Store) evictFor(need int) error {
 		if err != nil {
 			return err
 		}
-		delete(s.copies, victim)
-		delete(s.lastUsed, victim)
-		delete(s.useCount, victim)
-		s.used -= it.Size
+		s.remove(victim, it.Size)
 		s.evictions++
 	}
 	return nil
@@ -163,22 +171,30 @@ func (s *Store) worseThan(a, b ItemID) bool {
 	return a < b
 }
 
+// remove clears one item's dense state, reclaiming size units.
+func (s *Store) remove(id ItemID, size int) {
+	s.present[id] = false
+	s.copies[id] = Copy{}
+	s.lastUsed[id] = 0
+	s.useCount[id] = 0
+	s.used -= size
+	s.count--
+}
+
 // Drop removes the copy of an item if present (e.g. expired data purge).
 func (s *Store) Drop(id ItemID) {
-	if _, ok := s.copies[id]; !ok {
+	if !s.inRange(id) || !s.present[id] {
 		return
 	}
-	it, err := s.catalog.Item(id)
-	if err == nil {
-		s.used -= it.Size
+	size := 0
+	if it, err := s.catalog.Item(id); err == nil {
+		size = it.Size
 	}
-	delete(s.copies, id)
-	delete(s.lastUsed, id)
-	delete(s.useCount, id)
+	s.remove(id, size)
 }
 
 // Len returns the number of cached items.
-func (s *Store) Len() int { return len(s.copies) }
+func (s *Store) Len() int { return s.count }
 
 // Used returns the occupied size units.
 func (s *Store) Used() int { return s.used }
@@ -188,10 +204,11 @@ func (s *Store) Evictions() int { return s.evictions }
 
 // Items returns the stored item IDs in ascending order.
 func (s *Store) Items() []ItemID {
-	ids := make([]ItemID, 0, len(s.copies))
-	for id := range s.copies {
-		ids = append(ids, id)
+	ids := make([]ItemID, 0, s.count)
+	for id := range s.present {
+		if s.present[id] {
+			ids = append(ids, ItemID(id))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }

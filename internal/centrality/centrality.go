@@ -9,14 +9,34 @@ package centrality
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
 
+// Epoched is implemented by rate views whose knowledge is immutable once
+// published, identified by an epoch tag: two reads through the same view
+// with the same epoch are guaranteed to return the same rates. Consumers
+// (e.g. the replication-plan memo in core) use the epoch as a cache key
+// and treat views without the interface — such as the continuously
+// updated per-node views of DistributedEstimator — as uncacheable.
+type Epoched interface {
+	// Epoch returns the view's snapshot identity. Distinct snapshots have
+	// distinct epochs; the value carries no meaning beyond equality.
+	Epoch() uint64
+}
+
+// matrixEpochs tags each RateMatrix with a process-unique epoch at
+// construction. Matrices are built, published and then only read (the
+// engine swaps in a whole new matrix on rebuild), so construction order
+// is a sound snapshot identity.
+var matrixEpochs atomic.Uint64
+
 // RateMatrix holds symmetric pairwise contact rates (1/s) for N nodes.
 type RateMatrix struct {
 	n     int
+	epoch uint64
 	rates []float64 // flat n*n, both (a,b) and (b,a) kept in sync
 }
 
@@ -25,8 +45,14 @@ func NewRateMatrix(n int) *RateMatrix {
 	if n <= 0 {
 		panic(fmt.Sprintf("centrality: non-positive node count %d", n))
 	}
-	return &RateMatrix{n: n, rates: make([]float64, n*n)}
+	return &RateMatrix{n: n, epoch: matrixEpochs.Add(1), rates: make([]float64, n*n)}
 }
+
+// Epoch implements Epoched: the matrix's snapshot identity, assigned at
+// construction.
+func (m *RateMatrix) Epoch() uint64 { return m.epoch }
+
+var _ Epoched = (*RateMatrix)(nil)
 
 // N returns the number of nodes.
 func (m *RateMatrix) N() int { return m.n }

@@ -13,9 +13,9 @@ func newAdaptiveForTest(t *testing.T, pReq float64, maxRelays int) *refreshSchem
 		t.Fatal("scheme type")
 	}
 	s.rt = &Runtime{PReq: pReq, MaxRelays: maxRelays}
-	s.relayBudget = make(map[cache.ItemID]int)
-	s.obsOnTime = make(map[cache.ItemID]int)
-	s.obsTotal = make(map[cache.ItemID]int)
+	s.relayBudget = []int{-1}
+	s.obsOnTime = make([]int, 1)
+	s.obsTotal = make([]int, 1)
 	return s
 }
 

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"freshcache/internal/cache"
+	"freshcache/internal/mobility"
+)
+
+// The allocation-regression suite pins the per-contact allocation count of
+// the dense hot path. The simulation is deterministic, so the allocation
+// count is exact and machine-independent; the asserted bounds carry ~2×
+// headroom over the measured values so legitimate small changes don't trip
+// them, while a reintroduced per-contact map or closure allocation (tens
+// of allocations per contact) fails loudly.
+
+// allocsPerContact runs the shared end-to-end scenario once per sample and
+// reports mean heap allocations per dispatched contact.
+func allocsPerContact(t *testing.T, mk func() Scheme) float64 {
+	t.Helper()
+	tr := testScenarioTrace(t, 7)
+	cat := testScenarioCatalog(t, 4*mobility.Hour)
+	cfg := Config{
+		Trace:           tr,
+		Catalog:         cat,
+		NumCachingNodes: 6,
+		Workload:        cache.WorkloadConfig{QueryRate: 1.0 / (2 * mobility.Hour), ZipfExponent: 1.0},
+		Seed:            7,
+	}
+	contacts := 0
+	allocs := testing.AllocsPerRun(3, func() {
+		c := cfg
+		c.Scheme = mk()
+		eng, err := NewEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		contacts = eng.ContactsDispatched()
+	})
+	if contacts == 0 {
+		t.Fatal("no contacts dispatched")
+	}
+	return allocs / float64(contacts)
+}
+
+func TestAllocsPerContactHierarchical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	const bound = 4.0
+	got := allocsPerContact(t, NewHierarchical)
+	t.Logf("hierarchical: %.2f allocs/contact (bound %.1f)", got, bound)
+	if got > bound {
+		t.Fatalf("hierarchical scheme allocates %.2f/contact, bound %.1f — hot-path allocation regression", got, bound)
+	}
+}
+
+func TestAllocsPerContactDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	const bound = 3.0
+	got := allocsPerContact(t, NewDirect)
+	t.Logf("direct: %.2f allocs/contact (bound %.1f)", got, bound)
+	if got > bound {
+		t.Fatalf("direct scheme allocates %.2f/contact, bound %.1f — hot-path allocation regression", got, bound)
+	}
+}

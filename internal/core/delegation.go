@@ -176,8 +176,7 @@ func (e *Engine) isProvider(node trace.NodeID, item cache.ItemID) bool {
 	if node == it.Source {
 		return true
 	}
-	_, ok := e.stores[node]
-	return ok
+	return e.store(node) != nil
 }
 
 // providerCopy returns the copy the provider would serve for the item, if
@@ -195,8 +194,8 @@ func (e *Engine) providerCopy(provider trace.NodeID, item cache.ItemID, now floa
 		}
 		return cache.Copy{Item: it.ID, Version: v, GeneratedAt: cache.VersionTime(it, e.rt.Epoch, v), ReceivedAt: now}, true
 	}
-	st, ok := e.stores[provider]
-	if !ok {
+	st := e.store(provider)
+	if st == nil {
 		return cache.Copy{}, false
 	}
 	// Get, not Peek: serving a query is a use, and the eviction policies

@@ -56,12 +56,18 @@ type Runtime struct {
 	// Seed lets schemes derive their own deterministic randomness.
 	Seed int64
 
-	eng       *Engine
-	isCaching map[trace.NodeID]bool
+	eng *Engine
+	// isCaching is indexed by NodeID — the per-contact membership test is
+	// a slice load, not a map probe.
+	isCaching []bool
+	// allNodes is the cached 0..N-1 ID slice returned by AllNodes.
+	allNodes []trace.NodeID
 }
 
 // IsCachingNode reports whether the node is in the caching set.
-func (rt *Runtime) IsCachingNode(n trace.NodeID) bool { return rt.isCaching[n] }
+func (rt *Runtime) IsCachingNode(n trace.NodeID) bool {
+	return n >= 0 && int(n) < len(rt.isCaching) && rt.isCaching[n]
+}
 
 // RatesFor returns the contact-rate knowledge available to the given node
 // right now. Under KnowledgeOracle (default) this is the converged
@@ -93,8 +99,8 @@ func (rt *Runtime) CachedVersion(node trace.NodeID, item cache.ItemID) (int, boo
 
 // CachedCopy returns the copy of the item cached at the node, if any.
 func (rt *Runtime) CachedCopy(node trace.NodeID, item cache.ItemID) (cache.Copy, bool) {
-	st, ok := rt.eng.stores[node]
-	if !ok {
+	st := rt.eng.store(node)
+	if st == nil {
 		return cache.Copy{}, false
 	}
 	return st.Peek(item)
@@ -111,14 +117,23 @@ func (rt *Runtime) DeliverToCache(node trace.NodeID, c cache.Copy, now float64) 
 }
 
 // AllNodes returns the node IDs 0..N-1; the candidate set for relay
-// selection.
+// selection. The slice is built once and shared — it is called per
+// destination per generation inside replication planning, so callers
+// must treat it as immutable.
 func (rt *Runtime) AllNodes() []trace.NodeID {
-	out := make([]trace.NodeID, rt.N)
-	for i := range out {
-		out[i] = trace.NodeID(i)
+	if rt.allNodes == nil {
+		rt.allNodes = make([]trace.NodeID, rt.N)
+		for i := range rt.allNodes {
+			rt.allNodes[i] = trace.NodeID(i)
+		}
 	}
-	return out
+	return rt.allNodes
 }
+
+// Items returns the scenario's items in ID order as a shared immutable
+// slice — the allocation-free counterpart of Catalog.Items for the
+// per-contact dispatch path.
+func (rt *Runtime) Items() []cache.Item { return rt.Catalog.View() }
 
 // KnowledgeMode selects how much contact-rate knowledge protocols get.
 type KnowledgeMode int
@@ -268,9 +283,15 @@ type Engine struct {
 	rt         *Runtime
 	distEst    *centrality.DistributedEstimator // non-nil under KnowledgeDistributed
 	delegation *delegationState                 // non-nil when QueryRelays > 0
-	stores     map[trace.NodeID]*cache.Store
-	sources    map[trace.NodeID][]cache.ItemID // node -> items it sources
-	queries    []*cache.Query
+	// stores is indexed by NodeID (nil for non-caching nodes); created at
+	// the measurement epoch once the caching set is known.
+	stores  []*cache.Store
+	sources map[trace.NodeID][]cache.ItemID // node -> items it sources
+	queries []*cache.Query
+	// qscratch is resolveFor's reusable snapshot of a pending-query list
+	// (Resolve mutates the live list mid-iteration). Contacts are
+	// processed one at a time, so a single buffer serves every call.
+	qscratch []*cache.Query
 
 	initErr error // deferred error from the epoch event
 }
@@ -286,7 +307,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		sim:       eventsim.New(),
 		collector: metrics.New(),
 		book:      cache.NewQueryBook(cfg.Workload.Timeout),
-		stores:    make(map[trace.NodeID]*cache.Store),
+		stores:    make([]*cache.Store, cfg.Trace.N),
 		sources:   make(map[trace.NodeID][]cache.ItemID),
 	}
 	e.epoch = cfg.Trace.Duration * cfg.WarmupFraction
@@ -401,6 +422,11 @@ func (e *Engine) Run() (metrics.Result, error) {
 // Collector exposes the raw metric log (delay CDFs etc.) after Run.
 func (e *Engine) Collector() *metrics.Collector { return e.collector }
 
+// ContactsDispatched reports how many trace contacts the run dispatched
+// to the protocol stack — the unit the benchmark harness normalizes
+// per-contact cost by.
+func (e *Engine) ContactsDispatched() int { return e.net.ContactsDispatched() }
+
 // Runtime exposes the runtime after Run (nil if warmup never completed);
 // used by experiments that inspect the hierarchy.
 func (e *Engine) Runtime() *Runtime { return e.rt }
@@ -439,7 +465,7 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 		RelayBufferCap: e.cfg.RelayBufferCap,
 		Seed:           e.cfg.Seed,
 		eng:            e,
-		isCaching:      make(map[trace.NodeID]bool, len(caching)),
+		isCaching:      make([]bool, e.cfg.Trace.N),
 	}
 	for _, cn := range caching {
 		e.rt.isCaching[cn] = true
@@ -525,9 +551,18 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 	return nil
 }
 
+// store returns the node's cache store, or nil for non-caching nodes and
+// out-of-range IDs.
+func (e *Engine) store(node trace.NodeID) *cache.Store {
+	if node < 0 || int(node) >= len(e.stores) {
+		return nil
+	}
+	return e.stores[node]
+}
+
 func (e *Engine) deliverToCache(node trace.NodeID, c cache.Copy, now float64) bool {
-	st, ok := e.stores[node]
-	if !ok {
+	st := e.store(node)
+	if st == nil {
 		return false
 	}
 	it, err := e.cfg.Catalog.Item(c.Item)
@@ -556,7 +591,7 @@ func (e *Engine) freshnessRatio(now float64) float64 {
 	fresh := 0
 	for _, cn := range e.rt.CachingNodes {
 		st := e.stores[cn]
-		for _, it := range e.cfg.Catalog.Items() {
+		for _, it := range e.cfg.Catalog.View() {
 			total++
 			c, ok := st.Peek(it.ID)
 			if !ok {
@@ -592,7 +627,7 @@ func (e *Engine) issueQuery(q *cache.Query, now float64) {
 		}
 		return
 	}
-	if st, ok := e.stores[q.Requester]; ok {
+	if st := e.store(q.Requester); st != nil {
 		if c, ok := st.Peek(q.Item); ok && !c.Expired(it, now) {
 			_ = e.book.Resolve(q, it, c, e.rt.Epoch, now)
 		}
@@ -613,9 +648,9 @@ func (e *Engine) resolveFor(c *network.Contact, requester, provider trace.NodeID
 	if len(pending) == 0 {
 		return
 	}
-	// Copy: Resolve mutates the pending list.
-	qs := make([]*cache.Query, len(pending))
-	copy(qs, pending)
+	// Snapshot: Resolve mutates the pending list.
+	qs := append(e.qscratch[:0], pending...)
+	e.qscratch = qs
 	for _, q := range qs {
 		it, err := e.cfg.Catalog.Item(q.Item)
 		if err != nil {

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
+	"freshcache/internal/bitset"
 	"freshcache/internal/cache"
 	"freshcache/internal/centrality"
 	"freshcache/internal/network"
@@ -18,9 +18,20 @@ type copyKey struct {
 	version int
 }
 
+// keyLess orders copy keys by (item, version) — the deterministic
+// delivery and eviction order of the relay buffers.
+func keyLess(a, b copyKey) bool {
+	if a.item != b.item {
+		return a.item < b.item
+	}
+	return a.version < b.version
+}
+
 // duty is the refresh responsibility a node holds for one item version:
 // the set of caching nodes it must still refresh, and the relay plans
-// backing each of them.
+// backing each of them. Node sets are bitsets over the dense 0..N-1 ID
+// space, so per-contact membership tests and updates are word operations
+// with no hashing and deterministic ascending iteration.
 type duty struct {
 	key    copyKey
 	genAt  float64
@@ -29,10 +40,11 @@ type duty struct {
 	// item lifetime); relay copies expire at genAt+ttl.
 	ttl float64
 	// dests are the children not yet known to be refreshed.
-	dests map[trace.NodeID]bool
-	// relayFor maps relay -> destinations that relay serves (empty when
-	// replication is off or unnecessary).
-	relayFor map[trace.NodeID]map[trace.NodeID]bool
+	dests *bitset.Set
+	// relayFor[relay] is the destination set that relay serves (nil when
+	// the relay is unused; the whole slice is nil when replication is off
+	// or planned no relays for this duty).
+	relayFor []*bitset.Set
 }
 
 // relayEntry is a copy parked at a relay node on behalf of responsible
@@ -41,8 +53,24 @@ type relayEntry struct {
 	key    copyKey
 	genAt  float64
 	expire float64
-	dests  map[trace.NodeID]bool
+	dests  *bitset.Set
 }
+
+// planKey memoizes one PlanReplication call: the plan depends only on
+// the rates snapshot (captured by the cache's epoch), the endpoints, the
+// time budget and the relay bound — PReq and the candidate set are
+// run-constant.
+type planKey struct {
+	holder trace.NodeID
+	dest   trace.NodeID
+	budget float64
+	bound  int
+}
+
+// maxPlanCacheEntries bounds the plan memo; when an adversarial workload
+// produces unbounded distinct budgets the memo is flushed rather than
+// grown forever. Flushing never changes results — only recompute cost.
+const maxPlanCacheEntries = 1 << 14
 
 // refreshScheme is the unified refresh protocol behind four of the
 // evaluated schemes. Its two switches correspond exactly to the paper's
@@ -79,12 +107,34 @@ type refreshScheme struct {
 
 	rng *rand.Rand // non-nil iff randomRelays
 
-	rt    *Runtime
-	trees map[cache.ItemID]*Tree
-	// duties[node][item] is the node's current (newest-version) duty.
-	duties map[trace.NodeID]map[cache.ItemID]*duty
-	// relays[node][key] are copies parked at the node for delivery.
-	relays map[trace.NodeID]map[copyKey]*relayEntry
+	rt *Runtime
+	// items is the shared immutable catalog view (ID order); n the node
+	// count. Both back the dense per-node state below.
+	items []cache.Item
+	n     int
+	// trees[item] is the item's refresh tree (item IDs are dense).
+	trees []*Tree
+	// duties[node][item] is the node's current (newest-version) duty, nil
+	// when none; rows are allocated lazily. dutyCount[node] lets the
+	// per-contact path skip duty-less endpoints with a single load.
+	duties    [][]*duty
+	dutyCount []int
+	// relays[node] are copies parked at the node for delivery, kept
+	// sorted by (item, version) — the order actAsRelay previously
+	// re-derived with a per-contact sort.
+	relays [][]*relayEntry
+	// scratch is reused by the relay hand-off path for the live
+	// destination intersection, keeping OnContact allocation-free.
+	scratch *bitset.Set
+
+	// Plan memoization: under an epoch-tagged (immutable) rates view,
+	// PlanReplication is pure in planKey, so plans are computed once per
+	// rates epoch — i.e. once per hierarchy (re)build — instead of once
+	// per generation. Views without an epoch (distributed knowledge
+	// change continuously) bypass the memo.
+	planCache map[planKey]RelayPlan
+	planEpoch uint64
+	planValid bool
 
 	// Planner statistics for analysis validation (E7).
 	plansTotal     int
@@ -92,11 +142,12 @@ type refreshScheme struct {
 	sumAchieved    float64
 	planErr        error
 
-	// Adaptive-control state (adaptive only): per-item relay budget and
-	// on-time observations since the item's last adjustment.
-	relayBudget map[cache.ItemID]int
-	obsOnTime   map[cache.ItemID]int
-	obsTotal    map[cache.ItemID]int
+	// Adaptive-control state (adaptive only), dense by item ID: the
+	// per-item relay budget (-1 = not yet adjusted) and on-time
+	// observations since the item's last adjustment.
+	relayBudget []int
+	obsOnTime   []int
+	obsTotal    []int
 }
 
 var (
@@ -164,22 +215,32 @@ func NewAdaptive() Scheme {
 func (s *refreshScheme) Name() string { return s.name }
 
 // Init implements Scheme: it builds the refresh tree for every item (a
-// star rooted at the source for the non-hierarchical variants).
+// star rooted at the source for the non-hierarchical variants) and sizes
+// the dense per-node state.
 func (s *refreshScheme) Init(rt *Runtime) error {
 	s.rt = rt
-	s.trees = make(map[cache.ItemID]*Tree, rt.Catalog.Len())
-	s.duties = make(map[trace.NodeID]map[cache.ItemID]*duty)
-	s.relays = make(map[trace.NodeID]map[copyKey]*relayEntry)
+	s.items = rt.Items()
+	s.n = rt.N
+	s.trees = make([]*Tree, len(s.items))
+	s.duties = make([][]*duty, s.n)
+	s.dutyCount = make([]int, s.n)
+	s.relays = make([][]*relayEntry, s.n)
+	s.scratch = bitset.New(s.n)
+	s.planCache = nil
+	s.planValid = false
 	if s.randomRelays {
 		s.rng = stats.Derive(rt.Seed, "core/random-relays")
 	}
 	if s.adaptive {
-		s.relayBudget = make(map[cache.ItemID]int)
-		s.obsOnTime = make(map[cache.ItemID]int)
-		s.obsTotal = make(map[cache.ItemID]int)
+		s.relayBudget = make([]int, len(s.items))
+		for i := range s.relayBudget {
+			s.relayBudget[i] = -1
+		}
+		s.obsOnTime = make([]int, len(s.items))
+		s.obsTotal = make([]int, len(s.items))
 	}
 
-	for _, it := range rt.Catalog.Items() {
+	for _, it := range s.items {
 		var t *Tree
 		var err error
 		if s.hierarchical {
@@ -201,10 +262,11 @@ func (s *refreshScheme) Init(rt *Runtime) error {
 // Rebuild implements Rebuilder: it reconstructs the refresh trees from
 // the runtime's current rate knowledge. Outstanding duties and relay
 // copies are kept — copies in flight stay useful — but responsibility for
-// future versions follows the new trees.
+// future versions follows the new trees. The plan memo self-invalidates:
+// the swapped-in rate matrix carries a fresh epoch.
 func (s *refreshScheme) Rebuild(rt *Runtime) error {
 	s.rt = rt
-	for _, it := range rt.Catalog.Items() {
+	for _, it := range s.items {
 		if !s.hierarchical {
 			continue // star trees have no rates to adapt to
 		}
@@ -262,8 +324,8 @@ func (s *refreshScheme) adjustBudget(it cache.Item) {
 		return
 	}
 	ratio := float64(s.obsOnTime[it.ID]) / float64(total)
-	budget, ok := s.relayBudget[it.ID]
-	if !ok {
+	budget := s.relayBudget[it.ID]
+	if budget < 0 {
 		budget = s.rt.MaxRelays
 	}
 	switch {
@@ -280,7 +342,7 @@ func (s *refreshScheme) adjustBudget(it cache.Item) {
 // relayBound returns the relay bound in force for the item.
 func (s *refreshScheme) relayBound(item cache.ItemID) int {
 	if s.adaptive {
-		if b, ok := s.relayBudget[item]; ok {
+		if b := s.relayBudget[item]; b >= 0 {
 			return b
 		}
 	}
@@ -299,6 +361,23 @@ func (s *refreshScheme) observeDelivery(item cache.ItemID, genAt, window, now fl
 	}
 }
 
+// planMemo returns the memo table valid for the given rates view, or nil
+// when the view is not epoch-tagged (mutable knowledge — never cached).
+// A view with a new epoch flushes the table: plans computed against
+// superseded rates must not survive a hierarchy rebuild.
+func (s *refreshScheme) planMemo(rates centrality.RateView) map[planKey]RelayPlan {
+	em, ok := rates.(centrality.Epoched)
+	if !ok {
+		return nil
+	}
+	if !s.planValid || s.planEpoch != em.Epoch() || len(s.planCache) > maxPlanCacheEntries {
+		s.planCache = make(map[planKey]RelayPlan)
+		s.planEpoch = em.Epoch()
+		s.planValid = true
+	}
+	return s.planCache
+}
+
 // assumeDuty makes `holder` responsible for refreshing its children in the
 // item's tree with the given version. genAt is the version's generation
 // time; now the moment responsibility starts (later than genAt for caching
@@ -309,26 +388,30 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 	if len(children) == 0 {
 		return
 	}
-	if cur, ok := s.duties[holder][it.ID]; ok && cur.key.version >= version {
-		return // already responsible for this or a newer version
+	row := s.duties[holder]
+	if row != nil {
+		if cur := row[it.ID]; cur != nil && cur.key.version >= version {
+			return // already responsible for this or a newer version
+		}
 	}
 	d := &duty{
-		key:      copyKey{item: it.ID, version: version},
-		genAt:    genAt,
-		window:   it.FreshnessWindow,
-		ttl:      it.Lifetime,
-		dests:    make(map[trace.NodeID]bool, len(children)),
-		relayFor: make(map[trace.NodeID]map[trace.NodeID]bool),
+		key:    copyKey{item: it.ID, version: version},
+		genAt:  genAt,
+		window: it.FreshnessWindow,
+		ttl:    it.Lifetime,
+		dests:  bitset.New(s.n),
 	}
+	ndests := 0
 	for _, c := range children {
 		// Skip children that already have this version (delivered by an
 		// overtaking relay path).
 		if v, ok := s.rt.CachedVersion(c, it.ID); ok && v >= version {
 			continue
 		}
-		d.dests[c] = true
+		d.dests.Add(int(c))
+		ndests++
 	}
-	if len(d.dests) == 0 {
+	if ndests == 0 {
 		return
 	}
 
@@ -336,18 +419,30 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 		budget := d.genAt + d.window - now
 		if budget > 0 {
 			rates := s.rt.RatesFor(holder)
-			for dest := range d.dests {
+			memo := s.planMemo(rates)
+			bound := s.relayBound(it.ID)
+			for dest := d.dests.Next(0); dest >= 0; dest = d.dests.Next(dest + 1) {
 				var plan RelayPlan
-				var err error
 				if s.randomRelays {
-					plan = s.randomPlan(rates, holder, dest, budget)
+					plan = s.randomPlan(rates, holder, trace.NodeID(dest), budget)
 				} else {
-					plan, err = PlanReplication(rates, holder, dest, s.rt.AllNodes(), budget, s.rt.PReq, s.relayBound(it.ID))
-					if err != nil {
-						if s.planErr == nil {
-							s.planErr = err
+					key := planKey{holder: holder, dest: trace.NodeID(dest), budget: budget, bound: bound}
+					var hit bool
+					if memo != nil {
+						plan, hit = memo[key]
+					}
+					if !hit {
+						var err error
+						plan, err = PlanReplication(rates, holder, trace.NodeID(dest), s.rt.AllNodes(), budget, s.rt.PReq, bound)
+						if err != nil {
+							if s.planErr == nil {
+								s.planErr = err
+							}
+							continue
 						}
-						continue
+						if memo != nil {
+							memo[key] = plan
+						}
 					}
 				}
 				s.plansTotal++
@@ -355,20 +450,31 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 					s.plansSatisfied++
 				}
 				s.sumAchieved += plan.AchievedProb
-				for _, r := range plan.Relays {
-					if d.relayFor[r] == nil {
-						d.relayFor[r] = make(map[trace.NodeID]bool)
+				if len(plan.Relays) > 0 {
+					if d.relayFor == nil {
+						d.relayFor = make([]*bitset.Set, s.n)
 					}
-					d.relayFor[r][dest] = true
+					for _, r := range plan.Relays {
+						rf := d.relayFor[r]
+						if rf == nil {
+							rf = bitset.New(s.n)
+							d.relayFor[r] = rf
+						}
+						rf.Add(dest)
+					}
 				}
 			}
 		}
 	}
 
-	if s.duties[holder] == nil {
-		s.duties[holder] = make(map[cache.ItemID]*duty)
+	if row == nil {
+		row = make([]*duty, len(s.items))
+		s.duties[holder] = row
 	}
-	s.duties[holder][it.ID] = d // replaces any older-version duty
+	if row[it.ID] == nil {
+		s.dutyCount[holder]++
+	}
+	row[it.ID] = d // replaces any older-version duty
 }
 
 // randomPlan draws MaxRelays distinct random relays (excluding holder and
@@ -421,7 +527,8 @@ func (s *refreshScheme) syncPeers(c *network.Contact, from, to trace.NodeID) {
 	if !s.rt.IsCachingNode(from) || !s.rt.IsCachingNode(to) {
 		return
 	}
-	for _, it := range s.rt.Catalog.Items() {
+	for i := range s.items {
+		it := s.items[i]
 		cp, ok := s.rt.CachedCopy(from, it.ID)
 		if !ok || cp.Expired(it, c.Time) {
 			continue
@@ -442,32 +549,34 @@ func (s *refreshScheme) syncPeers(c *network.Contact, from, to trace.NodeID) {
 
 // actAsResponsible runs holder's duties against peer: direct delivery when
 // peer is a pending destination, relay hand-off when peer is a planned
-// relay.
+// relay. Items are walked in ID order, which is the deterministic order
+// the old map-based state had to re-derive from the catalog.
 func (s *refreshScheme) actAsResponsible(c *network.Contact, holder, peer trace.NodeID) {
-	duties := s.duties[holder]
-	if len(duties) == 0 {
+	if s.dutyCount[holder] == 0 {
 		return
 	}
-	// Iterate items in ID order: map order would make which destination
-	// wins a budget-limited contact nondeterministic across runs.
-	for _, it := range s.rt.Catalog.Items() {
-		itemID := it.ID
-		d, ok := duties[itemID]
-		if !ok {
+	row := s.duties[holder]
+	p := int(peer)
+	for i := range s.items {
+		d := row[i]
+		if d == nil {
 			continue
 		}
+		it := s.items[i]
+		itemID := it.ID
 		// A version past its lifetime is worthless; drop the duty.
 		if c.Time > d.genAt+d.ttl {
-			delete(duties, itemID)
+			row[i] = nil
+			s.dutyCount[holder]--
 			continue
 		}
 		// Destination already refreshed by someone else? Clear silently.
-		if d.dests[peer] {
+		if d.dests.Contains(p) {
 			if v, ok := s.rt.CachedVersion(peer, itemID); ok && v >= d.key.version {
-				delete(d.dests, peer)
+				d.dests.Remove(p)
 			}
 		}
-		if d.dests[peer] {
+		if d.dests.Contains(p) {
 			if !c.Send(holder, peer, "refresh") {
 				return // contact budget exhausted; try next contact
 			}
@@ -476,25 +585,21 @@ func (s *refreshScheme) actAsResponsible(c *network.Contact, holder, peer trace.
 				s.observeDelivery(itemID, d.genAt, d.window, c.Time)
 				s.assumeDuty(peer, it, d.key.version, d.genAt, c.Time)
 			}
-			delete(d.dests, peer)
-		} else if dests, ok := d.relayFor[peer]; ok && len(dests) > 0 {
+			d.dests.Remove(p)
+		} else if d.relayFor != nil && d.relayFor[peer] != nil {
 			// Hand the copy to the relay for its still-pending dests.
-			live := make(map[trace.NodeID]bool)
-			for dest := range dests {
-				if d.dests[dest] {
-					live[dest] = true
-				}
-			}
-			if len(live) == 0 {
-				delete(d.relayFor, peer)
+			rf := d.relayFor[peer]
+			if rf.IntersectInto(d.dests, s.scratch) == 0 {
+				d.relayFor[peer] = nil
 				continue
 			}
-			if s.giveToRelay(c, holder, peer, d, live) {
-				delete(d.relayFor, peer) // handed off once; relay owns it now
+			if s.giveToRelay(c, holder, peer, d, s.scratch) {
+				d.relayFor[peer] = nil // handed off once; relay owns it now
 			}
 		}
-		if len(d.dests) == 0 {
-			delete(duties, itemID)
+		if d.dests.Empty() {
+			row[i] = nil
+			s.dutyCount[holder]--
 		}
 	}
 }
@@ -502,108 +607,136 @@ func (s *refreshScheme) actAsResponsible(c *network.Contact, holder, peer trace.
 // giveToRelay parks a copy at the relay. The physical copy transfer costs
 // one "relay" transmission the first time; adding destinations to a copy
 // the relay already holds is metadata and free.
-func (s *refreshScheme) giveToRelay(c *network.Contact, holder, relay trace.NodeID, d *duty, dests map[trace.NodeID]bool) bool {
+func (s *refreshScheme) giveToRelay(c *network.Contact, holder, relay trace.NodeID, d *duty, live *bitset.Set) bool {
 	buf := s.relays[relay]
-	entry, exists := buf[d.key]
-	if !exists {
-		if !c.Send(holder, relay, "relay") {
-			return false
+	for _, entry := range buf {
+		if entry.key == d.key {
+			entry.dests.Or(live)
+			return true
 		}
-		if buf == nil {
-			buf = make(map[copyKey]*relayEntry)
-			s.relays[relay] = buf
-		}
-		if cap := s.rt.RelayBufferCap; cap > 0 && len(buf) >= cap {
-			s.evictRelayEntry(buf)
-		}
-		entry = &relayEntry{
-			key:   d.key,
-			genAt: d.genAt,
-			// Copies stay deliverable while the data is still valid, not
-			// just while the on-time window is open: a late refresh beats
-			// no refresh.
-			expire: d.genAt + d.ttl,
-			dests:  make(map[trace.NodeID]bool),
-		}
-		buf[d.key] = entry
 	}
-	for dest := range dests {
-		entry.dests[dest] = true
+	if !c.Send(holder, relay, "relay") {
+		return false
 	}
+	if cap := s.rt.RelayBufferCap; cap > 0 && len(buf) >= cap {
+		buf = evictRelayEntry(buf)
+	}
+	entry := &relayEntry{
+		key:   d.key,
+		genAt: d.genAt,
+		// Copies stay deliverable while the data is still valid, not
+		// just while the on-time window is open: a late refresh beats
+		// no refresh.
+		expire: d.genAt + d.ttl,
+		dests:  bitset.New(s.n),
+	}
+	entry.dests.Or(live)
+	s.relays[relay] = insertRelayEntry(buf, entry)
 	return true
 }
 
+// insertRelayEntry inserts the entry keeping the buffer sorted by (item,
+// version).
+func insertRelayEntry(buf []*relayEntry, e *relayEntry) []*relayEntry {
+	pos := len(buf)
+	for i, x := range buf {
+		if keyLess(e.key, x.key) {
+			pos = i
+			break
+		}
+	}
+	buf = append(buf, nil)
+	copy(buf[pos+1:], buf[pos:])
+	buf[pos] = e
+	return buf
+}
+
 // actAsRelay delivers copies parked at `relay` that are destined for peer.
+// The buffer is kept key-sorted, so the walk is already in the
+// deterministic (item, version) order.
 func (s *refreshScheme) actAsRelay(c *network.Contact, relay, peer trace.NodeID) {
 	buf := s.relays[relay]
 	if len(buf) == 0 {
 		return
 	}
-	keys := make([]copyKey, 0, len(buf))
-	for key := range buf {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].item != keys[j].item {
-			return keys[i].item < keys[j].item
-		}
-		return keys[i].version < keys[j].version
-	})
-	for _, key := range keys {
-		entry := buf[key]
-		planned := entry.dests[peer]
+	p := int(peer)
+	for _, entry := range buf {
+		planned := entry.dests.Contains(p)
 		if !planned && !(s.opportunistic && s.rt.IsCachingNode(peer)) {
 			continue
 		}
-		delete(entry.dests, peer)
+		entry.dests.Remove(p)
 		// Skip if the destination caught up through another path.
-		if v, ok := s.rt.CachedVersion(peer, key.item); ok && v >= key.version {
+		if v, ok := s.rt.CachedVersion(peer, entry.key.item); ok && v >= entry.key.version {
 			continue
 		}
 		if !c.Send(relay, peer, "refresh") {
 			if planned {
-				entry.dests[peer] = true // budget exhausted; retry next contact
+				entry.dests.Add(p) // budget exhausted; retry next contact
 			}
 			return
 		}
-		cp := cache.Copy{Item: key.item, Version: key.version, GeneratedAt: entry.genAt, ReceivedAt: c.Time}
+		cp := cache.Copy{Item: entry.key.item, Version: entry.key.version, GeneratedAt: entry.genAt, ReceivedAt: c.Time}
 		if s.rt.DeliverToCache(peer, cp, c.Time) {
-			if it, err := s.rt.Catalog.Item(key.item); err == nil {
-				s.observeDelivery(key.item, entry.genAt, it.FreshnessWindow, c.Time)
-				s.assumeDuty(peer, it, key.version, entry.genAt, c.Time)
+			if it, err := s.rt.Catalog.Item(entry.key.item); err == nil {
+				s.observeDelivery(entry.key.item, entry.genAt, it.FreshnessWindow, c.Time)
+				s.assumeDuty(peer, it, entry.key.version, entry.genAt, c.Time)
 			}
 		}
 	}
-	for key, entry := range buf {
-		if len(entry.dests) == 0 {
-			delete(buf, key)
+	// Drop entries whose destination set drained, preserving order. Like
+	// the pre-dense code, this cleanup runs only when the walk completes
+	// (a budget-exhausted return leaves drained entries for later).
+	kept := buf[:0]
+	for _, entry := range buf {
+		if entry.dests.Empty() {
+			continue
 		}
+		kept = append(kept, entry)
+	}
+	if len(kept) != len(buf) {
+		for i := len(kept); i < len(buf); i++ {
+			buf[i] = nil
+		}
+		s.relays[relay] = kept
 	}
 }
 
 // evictRelayEntry drops the buffered copy closest to expiry (ties broken
 // by key for determinism) to make room in a capped relay buffer.
-func (s *refreshScheme) evictRelayEntry(buf map[copyKey]*relayEntry) {
-	var victim copyKey
-	first := true
-	for key, entry := range buf {
-		if first || entry.expire < buf[victim].expire ||
-			(entry.expire == buf[victim].expire && (key.item < victim.item || (key.item == victim.item && key.version < victim.version))) {
-			victim = key
-			first = false
+func evictRelayEntry(buf []*relayEntry) []*relayEntry {
+	victim := -1
+	for i, entry := range buf {
+		if victim < 0 || entry.expire < buf[victim].expire ||
+			(entry.expire == buf[victim].expire && keyLess(entry.key, buf[victim].key)) {
+			victim = i
 		}
 	}
-	if !first {
-		delete(buf, victim)
+	if victim < 0 {
+		return buf
 	}
+	copy(buf[victim:], buf[victim+1:])
+	buf[len(buf)-1] = nil
+	return buf[:len(buf)-1]
 }
 
 func (s *refreshScheme) expireRelays(node trace.NodeID, now float64) {
 	buf := s.relays[node]
-	for key, entry := range buf {
+	if len(buf) == 0 {
+		return
+	}
+	kept := buf[:0]
+	for _, entry := range buf {
 		if now > entry.expire {
-			delete(buf, key)
+			continue
 		}
+		kept = append(kept, entry)
+	}
+	if len(kept) != len(buf) {
+		for i := len(kept); i < len(buf); i++ {
+			buf[i] = nil
+		}
+		s.relays[node] = kept
 	}
 }
 
@@ -619,12 +752,17 @@ func (s *refreshScheme) SchemeStats() map[string]float64 {
 		out["meanAchievedProb"] = s.sumAchieved / float64(s.plansTotal)
 		out["satisfiedRatio"] = float64(s.plansSatisfied) / float64(s.plansTotal)
 	}
-	if s.adaptive && len(s.relayBudget) > 0 {
-		sum := 0
+	if s.adaptive {
+		sum, cnt := 0, 0
 		for _, b := range s.relayBudget {
-			sum += b
+			if b >= 0 {
+				sum += b
+				cnt++
+			}
 		}
-		out["meanRelayBudget"] = float64(sum) / float64(len(s.relayBudget))
+		if cnt > 0 {
+			out["meanRelayBudget"] = float64(sum) / float64(cnt)
+		}
 	}
 	if len(s.trees) > 0 {
 		depthSum, maxDepth := 0, 0
@@ -644,10 +782,12 @@ func (s *refreshScheme) SchemeStats() map[string]float64 {
 // epidemicScheme floods every new version to every node: the freshness
 // ceiling and the overhead ceiling.
 type epidemicScheme struct {
-	rt *Runtime
+	rt    *Runtime
+	items []cache.Item
 	// known[node][item] is the newest copy the node carries (every node
-	// relays, not just caching nodes).
-	known map[trace.NodeID]map[cache.ItemID]cache.Copy
+	// relays, not just caching nodes); Version < 0 marks no copy. Rows
+	// are allocated on a node's first copy.
+	known [][]cache.Copy
 }
 
 var _ Scheme = (*epidemicScheme)(nil)
@@ -661,7 +801,8 @@ func (s *epidemicScheme) Name() string { return "epidemic" }
 // Init implements Scheme.
 func (s *epidemicScheme) Init(rt *Runtime) error {
 	s.rt = rt
-	s.known = make(map[trace.NodeID]map[cache.ItemID]cache.Copy, rt.N)
+	s.items = rt.Items()
+	s.known = make([][]cache.Copy, rt.N)
 	return nil
 }
 
@@ -671,13 +812,16 @@ func (s *epidemicScheme) OnGenerate(it cache.Item, version int, now float64) {
 }
 
 func (s *epidemicScheme) setKnown(node trace.NodeID, c cache.Copy) {
-	m := s.known[node]
-	if m == nil {
-		m = make(map[cache.ItemID]cache.Copy)
-		s.known[node] = m
+	row := s.known[node]
+	if row == nil {
+		row = make([]cache.Copy, len(s.items))
+		for i := range row {
+			row[i].Version = -1
+		}
+		s.known[node] = row
 	}
-	if old, ok := m[c.Item]; !ok || c.Version > old.Version {
-		m[c.Item] = c
+	if row[c.Item].Version < c.Version {
+		row[c.Item] = c
 	}
 }
 
@@ -689,15 +833,17 @@ func (s *epidemicScheme) OnContact(c *network.Contact) {
 
 func (s *epidemicScheme) push(c *network.Contact, from, to trace.NodeID) {
 	src := s.known[from]
-	if len(src) == 0 {
+	if src == nil {
 		return
 	}
-	for _, it := range s.rt.Catalog.Items() {
-		cp, ok := src[it.ID]
-		if !ok {
+	dst := s.known[to]
+	for i := range s.items {
+		it := s.items[i]
+		cp := src[it.ID]
+		if cp.Version < 0 {
 			continue
 		}
-		if old, ok := s.known[to][it.ID]; ok && old.Version >= cp.Version {
+		if dst != nil && dst[it.ID].Version >= cp.Version {
 			continue
 		}
 		kind := "relay"
@@ -709,6 +855,7 @@ func (s *epidemicScheme) push(c *network.Contact, from, to trace.NodeID) {
 		}
 		cp.ReceivedAt = c.Time
 		s.setKnown(to, cp)
+		dst = s.known[to] // row may have just been allocated
 		if s.rt.IsCachingNode(to) {
 			s.rt.DeliverToCache(to, cp, c.Time)
 		}

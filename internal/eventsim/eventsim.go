@@ -18,17 +18,26 @@ import (
 // and may schedule further events.
 type Handler func(now float64)
 
-// event is a single future-event-list entry.
+// event is a single future-event-list entry. Events are pooled: once
+// popped or canceled, the struct is recycled for a later ScheduleAt, so a
+// long run allocates O(peak pending) events rather than O(processed).
 type event struct {
 	time    float64
 	seq     uint64 // insertion order; breaks time ties deterministically
 	handler Handler
 	index   int // heap index, -1 once popped or canceled
+	// gen increments each time the struct is recycled, so an EventID held
+	// across the event's execution cannot cancel the struct's next life.
+	gen uint64
 }
 
-// EventID identifies a scheduled event so it can be canceled.
+// EventID identifies a scheduled event so it can be canceled. It is valid
+// only for the scheduling it came from: once the event runs or is
+// canceled, the ID goes stale (Cancel returns false) even if the
+// simulator reuses the underlying storage.
 type EventID struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // eventQueue is a min-heap over (time, seq).
@@ -76,6 +85,8 @@ type Simulator struct {
 	nextSeq uint64
 	running bool
 	stopped bool
+	// free holds recycled event structs for reuse by ScheduleAt.
+	free []*event
 	// processed counts events executed, for diagnostics and scalability
 	// experiments.
 	processed uint64
@@ -108,6 +119,39 @@ func (s *Simulator) Pending() int { return s.queue.Len() }
 // simulated time.
 var ErrPastEvent = errors.New("eventsim: event scheduled in the past")
 
+// eventSlabSize is how many event structs one pool refill allocates.
+// Bulk-scheduled workloads (trace replay enqueues every contact upfront)
+// then cost one allocation per slab instead of one per event.
+const eventSlabSize = 64
+
+// alloc returns an event struct ready for scheduling, recycled when
+// possible and slab-allocated otherwise.
+func (s *Simulator) alloc(t float64, h Handler) *event {
+	if len(s.free) == 0 {
+		slab := make([]event, eventSlabSize)
+		for i := range slab {
+			s.free = append(s.free, &slab[i])
+		}
+	}
+	n := len(s.free)
+	ev := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	ev.time = t
+	ev.handler = h
+	return ev
+}
+
+// recycle retires an event struct that left the queue. The handler
+// reference is dropped immediately — a popped or canceled event must not
+// pin its closure (and everything the closure captures) until the struct
+// happens to be reused.
+func (s *Simulator) recycle(ev *event) {
+	ev.handler = nil
+	ev.gen++
+	s.free = append(s.free, ev)
+}
+
 // ScheduleAt schedules h to run at absolute simulated time t. Events at
 // equal times run in scheduling order. Scheduling at the current time is
 // allowed (the event runs after the current handler returns).
@@ -118,10 +162,11 @@ func (s *Simulator) ScheduleAt(t float64, h Handler) (EventID, error) {
 	if h == nil {
 		return EventID{}, errors.New("eventsim: nil handler")
 	}
-	ev := &event{time: t, seq: s.nextSeq, handler: h}
+	ev := s.alloc(t, h)
+	ev.seq = s.nextSeq
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
-	return EventID{ev: ev}, nil
+	return EventID{ev: ev, gen: ev.gen}, nil
 }
 
 // ScheduleAfter schedules h to run delay seconds from now.
@@ -135,11 +180,12 @@ func (s *Simulator) ScheduleAfter(delay float64, h Handler) (EventID, error) {
 // Cancel removes a scheduled event. Canceling an already-executed or
 // already-canceled event is a no-op and returns false.
 func (s *Simulator) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&s.queue, id.ev.index)
 	id.ev.index = -1
+	s.recycle(id.ev)
 	return true
 }
 
@@ -171,7 +217,12 @@ func (s *Simulator) Run(until float64) (float64, error) {
 		}
 		s.now = popped.time
 		s.processed++
-		popped.handler(s.now)
+		h := popped.handler
+		// Recycle before running: the struct no longer references the
+		// handler while the handler executes, and the handler is free to
+		// schedule new events (which may reuse this very struct).
+		s.recycle(popped)
+		h(s.now)
 	}
 	if s.now < until && !s.stopped {
 		s.now = until

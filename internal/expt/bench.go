@@ -1,0 +1,137 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"freshcache/internal/core"
+	"freshcache/internal/metrics"
+	"freshcache/internal/mobility"
+)
+
+// BenchReport is the machine-readable output of the benchmark harness
+// (`cmd/experiments -benchjson`, `scripts/bench.sh`), committed as
+// BENCH_<PR>.json so CI can flag regressions. Timing fields are
+// machine-dependent; the allocation fields are not (the simulation is
+// deterministic), so CI gates on allocations and treats ns as advisory.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Preset string `json:"preset"`
+
+	// Per-contact cost of one end-to-end run of the paper's scheme
+	// (hierarchical, default scenario): the protocol hot path. Best of
+	// BenchRounds rounds for ns; allocations are identical every round.
+	Contacts         int     `json:"contacts"`
+	NsPerContact     float64 `json:"nsPerContact"`
+	AllocsPerContact float64 `json:"allocsPerContact"`
+	BytesPerContact  float64 `json:"bytesPerContact"`
+
+	// One full quick-mode E2 experiment (the sweep CI benchmarks): total
+	// cost and sweep throughput.
+	E2Cells       int     `json:"e2Cells"`
+	E2NsPerOp     float64 `json:"e2NsPerOp"`
+	E2AllocsPerOp float64 `json:"e2AllocsPerOp"`
+	E2BytesPerOp  float64 `json:"e2BytesPerOp"`
+	CellsPerSec   float64 `json:"cellsPerSec"`
+}
+
+// BenchSchema identifies the report layout for downstream tooling.
+const BenchSchema = "freshcache-bench/1"
+
+// BenchRounds is how many times each benchmark section repeats; ns fields
+// report the best round.
+const BenchRounds = 3
+
+// memDelta runs f and returns (elapsed, mallocs, bytes) attributed to it.
+// The process must be otherwise idle (the harness is single-threaded).
+func memDelta(f func() error) (time.Duration, uint64, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, err
+}
+
+// RunBench measures the harness's two sections and assembles the report.
+func RunBench(seed int64) (BenchReport, error) {
+	rep := BenchReport{Schema: BenchSchema, Seed: seed, Preset: "reality-like"}
+
+	// Section 1: per-contact cost of one hierarchical run.
+	gen, err := mobility.Preset(rep.Preset)
+	if err != nil {
+		return rep, err
+	}
+	tr, err := gen.Generate(seed)
+	if err != nil {
+		return rep, err
+	}
+	sc := defaultScenario(rep.Preset, seed)
+	for round := 0; round < BenchRounds; round++ {
+		var eng *core.Engine
+		elapsed, mallocs, bytes, err := memDelta(func() error {
+			var err error
+			_, eng, err = sc.RunOnTrace(core.NewHierarchical(), tr)
+			return err
+		})
+		if err != nil {
+			return rep, fmt.Errorf("bench run: %w", err)
+		}
+		contacts := eng.ContactsDispatched()
+		if contacts == 0 {
+			return rep, fmt.Errorf("bench run dispatched no contacts")
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(contacts)
+		if round == 0 || ns < rep.NsPerContact {
+			rep.NsPerContact = ns
+		}
+		// Deterministic run → identical allocations every round.
+		rep.Contacts = contacts
+		rep.AllocsPerContact = float64(mallocs) / float64(contacts)
+		rep.BytesPerContact = float64(bytes) / float64(contacts)
+	}
+
+	// Section 2: one quick-mode E2 experiment (what CI's benchmark job
+	// runs), for whole-sweep cost and throughput.
+	e2, err := ByID("E2")
+	if err != nil {
+		return rep, err
+	}
+	for round := 0; round < BenchRounds; round++ {
+		rs := metrics.NewRunStats()
+		elapsed, mallocs, bytes, err := memDelta(func() error {
+			_, err := e2.Run(Options{Seed: seed, Quick: true, Parallel: 1, Stats: rs})
+			return err
+		})
+		if err != nil {
+			return rep, fmt.Errorf("bench E2: %w", err)
+		}
+		ns := float64(elapsed.Nanoseconds())
+		if round == 0 || ns < rep.E2NsPerOp {
+			rep.E2NsPerOp = ns
+			if s := elapsed.Seconds(); s > 0 {
+				rep.CellsPerSec = float64(rs.Runs()) / s
+			}
+		}
+		rep.E2Cells = rs.Runs()
+		rep.E2AllocsPerOp = float64(mallocs)
+		rep.E2BytesPerOp = float64(bytes)
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON writes the report as indented JSON (with a trailing
+// newline, so the committed baseline diffs cleanly).
+func WriteBenchJSON(path string, rep BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

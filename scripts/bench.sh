@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Benchmark harness: regenerates the committed benchmark baseline
+# (BENCH_PR3.json) and runs the go-test micro/suite benchmarks with
+# -benchmem for inspection.
+#
+# Usage:
+#   scripts/bench.sh [out.json]       # default BENCH_PR3.json
+#
+# The JSON fields fall in two classes:
+#   - allocation counts (allocsPerContact, e2AllocsPerOp): deterministic
+#     and machine-independent — CI gates on these;
+#   - timings (nsPerContact, e2NsPerOp, cellsPerSec): machine-dependent,
+#     advisory only. Quote them with the machine they came from.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+
+echo "== benchmark harness (cmd/experiments -benchjson) =="
+go run ./cmd/experiments -benchjson "$out" -seed 42
+
+echo
+echo "== go test benchmarks (-benchmem) =="
+go test -run '^$' -bench 'BenchmarkContactDispatch|BenchmarkE2FreshnessVsRefresh|BenchmarkSimulationRun|BenchmarkEventEngine' \
+    -benchmem -benchtime 3x .
+
+echo
+echo "wrote $out"

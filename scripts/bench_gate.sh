@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# CI benchmark gate: regenerate the benchmark report and fail if the
+# quick-mode E2 sweep's allocation count regressed more than 20% against
+# the committed baseline. Allocations are deterministic and
+# machine-independent, so the gate is exact; timings are not gated.
+#
+# Usage: scripts/bench_gate.sh [baseline.json] [fresh.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_PR3.json}"
+fresh="${2:-bench_fresh.json}"
+
+[ -f "$baseline" ] || { echo "no committed baseline $baseline"; exit 1; }
+
+go run ./cmd/experiments -benchjson "$fresh" -seed 42
+
+field() {
+    # field <file> <key>: extract a numeric JSON field (flat schema).
+    sed -n "s/.*\"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1" | head -n 1
+}
+
+base_allocs=$(field "$baseline" e2AllocsPerOp)
+new_allocs=$(field "$fresh" e2AllocsPerOp)
+[ -n "$base_allocs" ] && [ -n "$new_allocs" ] || {
+    echo "could not read e2AllocsPerOp (baseline='$base_allocs' fresh='$new_allocs')"; exit 1;
+}
+
+echo "E2 quick sweep allocations: baseline=$base_allocs current=$new_allocs"
+awk -v base="$base_allocs" -v new="$new_allocs" 'BEGIN {
+    limit = base * 1.2
+    if (new > limit) {
+        printf "FAIL: allocations regressed >20%% (%.0f > %.0f)\n", new, limit
+        exit 1
+    }
+    printf "OK: within 20%% budget (limit %.0f)\n", limit
+}'
