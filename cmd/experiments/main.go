@@ -13,8 +13,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,6 +29,7 @@ import (
 
 	"freshcache/internal/expt"
 	"freshcache/internal/metrics"
+	"freshcache/internal/obs"
 )
 
 func main() {
@@ -49,10 +54,17 @@ func run(args []string) error {
 		benchJSON  = fs.String("benchjson", "", "run the benchmark harness instead of experiments and write a JSON report to this file")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		obsDir    = fs.String("obs", "", "directory for observability output: events.jsonl (per-run event trace), trace.json (Chrome trace-event JSON for Perfetto) and manifest.json")
+		obsSample = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
+		obsBuffer = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
+		timings   = fs.Bool("timings", false, "include machine-dependent wall-clock columns in tables that have them (E10)")
+		httpAddr  = fs.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	start := time.Now()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -124,6 +136,26 @@ func run(args []string) error {
 	if *reps < 0 {
 		return fmt.Errorf("replicates must be >= 0, got %d", *reps)
 	}
+	if *obsSample < 1 {
+		return fmt.Errorf("obs-sample must be >= 1, got %d", *obsSample)
+	}
+
+	// The observer exists when anything consumes it: trace output (-obs) or
+	// the live endpoint (-http). Nil otherwise, so hot paths stay zero-cost.
+	var observer *obs.Observer
+	if *obsDir != "" || *httpAddr != "" {
+		if *obsDir != "" {
+			if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+				return err
+			}
+		}
+		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer})
+	}
+	if *httpAddr != "" {
+		if err := serveDebug(*httpAddr, observer); err != nil {
+			return err
+		}
+	}
 
 	// Experiments run concurrently up to the -parallel bound; each one's
 	// rendered output is buffered and printed in registry order so logs
@@ -140,16 +172,69 @@ func run(args []string) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			opts := expt.Options{Seed: *seed, Quick: *quick, Parallel: *par, Replicates: *reps}
+			opts := expt.Options{Seed: *seed, Quick: *quick, Parallel: *par, Replicates: *reps,
+				Obs: observer, Timings: *timings}
 			results[i] = runOne(e, opts, *charts, *csvDir)
 		}()
 	}
 	wg.Wait()
+	var outputs []string
 	for i, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("%s: %w", selected[i].ID, r.err)
 		}
 		fmt.Print(r.text)
+		outputs = append(outputs, r.files...)
+	}
+
+	if observer != nil && *obsDir != "" {
+		for _, f := range []struct {
+			name  string
+			write func(*os.File) error
+		}{
+			{"events.jsonl", func(f *os.File) error { return observer.WriteJSONL(f) }},
+			{"trace.json", func(f *os.File) error { return observer.WriteChromeTrace(f) }},
+		} {
+			path := filepath.Join(*obsDir, f.name)
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.write(out); err != nil {
+				out.Close()
+				return fmt.Errorf("obs: %s: %w", f.name, err)
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			outputs = append(outputs, path)
+		}
+	}
+
+	// A manifest accompanies the run's artifacts: next to the CSVs when
+	// -csv is given, and in the obs directory when -obs is.
+	if *csvDir != "" || observer != nil {
+		m := obs.NewManifest("experiments")
+		m.Command = append([]string{"experiments"}, args...)
+		m.Seed = *seed
+		m.Config = map[string]any{
+			"run": *only, "quick": *quick, "parallel": *par, "replicates": *reps,
+			"timings": *timings, "obsSample": *obsSample, "obsBuffer": *obsBuffer,
+		}
+		m.Outputs = outputs
+		if observer != nil {
+			snap := observer.Metrics.Snapshot()
+			m.Metrics = &snap
+			st := observer.Stats()
+			m.Events = &st
+			m.SchemeStats = observer.SchemeRollups()
+		}
+		m.FinishResources(start)
+		for _, dir := range manifestDirs(*csvDir, *obsDir) {
+			if err := m.Write(filepath.Join(dir, "manifest.json")); err != nil {
+				return err
+			}
+		}
 	}
 	// Process-wide memory footer. Parenthesized like the per-experiment
 	// stats lines, so determinism checks that strip timing footers strip
@@ -163,10 +248,53 @@ func run(args []string) error {
 	return nil
 }
 
-// outcome is one experiment's rendered output block (or its error).
+// outcome is one experiment's rendered output block (or its error), plus
+// the files it wrote.
 type outcome struct {
-	text string
-	err  error
+	text  string
+	files []string
+	err   error
+}
+
+// manifestDirs returns the distinct non-empty directories a manifest.json
+// belongs in.
+func manifestDirs(dirs ...string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, d := range dirs {
+		if d == "" || seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// publishOnce guards the process-global expvar names: tests invoke run()
+// repeatedly and expvar.Publish panics on duplicates.
+var publishOnce sync.Once
+
+// serveDebug starts the -http endpoint: expvar at /debug/vars (including
+// the observer's metric snapshot under "freshcache") and net/http/pprof at
+// /debug/pprof. It serves for the remainder of the process.
+func serveDebug(addr string, observer *obs.Observer) error {
+	publishOnce.Do(func() {
+		expvar.Publish("freshcache", expvar.Func(func() any {
+			return observer.Registry().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("http: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s/debug/vars\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: http:", err)
+		}
+	}()
+	return nil
 }
 
 // runOne executes one experiment and renders its full output block.
@@ -193,10 +321,12 @@ func runOne(e expt.Experiment, opts expt.Options, charts bool, csvDir string) (o
 		}
 		if csvDir != "" {
 			name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
-			if err := os.WriteFile(filepath.Join(csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+			path := filepath.Join(csvDir, name)
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				out.err = err
 				return
 			}
+			out.files = append(out.files, path)
 		}
 	}
 	elapsed := time.Since(start)

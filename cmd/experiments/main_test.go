@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"freshcache/internal/obs"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -62,5 +65,51 @@ func TestRunReplicates(t *testing.T) {
 func TestRunReplicatesValidation(t *testing.T) {
 	if err := run([]string{"-run", "E1", "-replicates", "-1"}); err == nil {
 		t.Fatal("replicates=-1 accepted")
+	}
+}
+
+func TestRunWithObservability(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "obs")
+	if err := run([]string{"-run", "E1", "-quick", "-obs", dir, "-obs-sample", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"events.jsonl", "trace.json", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing obs output %s: %v", name, err)
+		}
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace.json invalid: %v", err)
+	}
+	b, err = os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest.json invalid: %v", err)
+	}
+	if m.Schema != obs.ManifestSchema || m.Tool != "experiments" || m.Metrics == nil || m.Events == nil {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+}
+
+func TestRunObsValidation(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-quick", "-obs", t.TempDir(), "-obs-sample", "0"}); err == nil {
+		t.Fatal("obs-sample=0 accepted")
+	}
+}
+
+func TestManifestDirs(t *testing.T) {
+	got := manifestDirs("", "a", "a", "b", "")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("manifestDirs = %v", got)
 	}
 }

@@ -13,12 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"freshcache"
+	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 )
 
@@ -59,9 +61,24 @@ func run(args []string) error {
 
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		obsDir    = fs.String("obs", "", "directory for observability output: events.jsonl, trace.json (Perfetto) and manifest.json")
+		obsSample = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
+		obsBuffer = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	start := time.Now()
+	if *obsSample < 1 {
+		return fmt.Errorf("obs-sample must be >= 1, got %d", *obsSample)
+	}
+	var observer *obs.Observer // nil when -obs is off
+	if *obsDir != "" {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			return err
+		}
+		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer})
 	}
 
 	if *cpuProfile != "" {
@@ -131,53 +148,16 @@ func run(args []string) error {
 	}
 	opts = append(opts, baseOpts...)
 
-	if *compare != "" {
-		return runComparison(*compare, baseOpts)
-	}
-	if *runs > 1 {
-		return runReplicated(*runs, *seed, *scheme, baseOpts)
-	}
+	err := func() error {
+		if *compare != "" {
+			return runComparison(*compare, baseOpts, observer)
+		}
+		if *runs > 1 {
+			return runReplicated(*runs, *seed, *scheme, baseOpts, observer)
+		}
 
-	sim, err := freshcache.New(opts...)
-	if err != nil {
-		return err
-	}
-	res, err := sim.Run()
-	if err != nil {
-		return err
-	}
-
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
-	}
-	fmt.Println(res.String())
-	fmt.Printf("caching nodes:       %v\n", sim.CachingNodes())
-	fmt.Printf("freshness ratio:     %.4f\n", res.FreshnessRatio)
-	fmt.Printf("valid access ratio:  %.4f (fresh %.4f, answered %.4f of %d queries)\n",
-		res.ValidAnswers, res.FreshAnswers, res.AnsweredOK, res.Queries)
-	fmt.Printf("refresh delay:       mean %s, p90 %s, on-time %.4f\n",
-		time.Duration(res.MeanRefreshDelay*float64(time.Second)).Round(time.Second),
-		time.Duration(res.P90RefreshDelay*float64(time.Second)).Round(time.Second),
-		res.OnTimeRatio)
-	fmt.Printf("overhead:            %.2f tx/version (%d total; source share %.3f)\n",
-		res.TxPerVersion, res.Transmissions, res.SourceTxShare)
-	fmt.Printf("first-delivery on-time ratio: %.4f (requirement %.2f)\n",
-		sim.FirstDeliveryOnTimeRatio(), *preq)
-	return nil
-}
-
-// runReplicated runs the scheme over `runs` consecutive seeds and reports
-// the mean and 95% confidence half-width of the headline metrics.
-func runReplicated(runs int, baseSeed int64, scheme string, baseOpts []freshcache.Option) error {
-	var fresh, valid, tx []float64
-	for i := 0; i < runs; i++ {
-		opts := append([]freshcache.Option{
-			freshcache.WithScheme(freshcache.SchemeName(scheme)),
-		}, baseOpts...)
-		// Applied last so it overrides the base -seed flag.
-		opts = append(opts, freshcache.WithSeed(baseSeed+int64(i)))
+		rt := observer.Run("freshsim/" + *scheme)
+		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
 		sim, err := freshcache.New(opts...)
 		if err != nil {
 			return err
@@ -186,6 +166,97 @@ func runReplicated(runs int, baseSeed int64, scheme string, baseOpts []freshcach
 		if err != nil {
 			return err
 		}
+		observer.Commit(rt)
+		observer.RecordRun(res.Scheme, res)
+
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("caching nodes:       %v\n", sim.CachingNodes())
+		fmt.Printf("freshness ratio:     %.4f\n", res.FreshnessRatio)
+		fmt.Printf("valid access ratio:  %.4f (fresh %.4f, answered %.4f of %d queries)\n",
+			res.ValidAnswers, res.FreshAnswers, res.AnsweredOK, res.Queries)
+		fmt.Printf("refresh delay:       mean %s, p90 %s, on-time %.4f\n",
+			time.Duration(res.MeanRefreshDelay*float64(time.Second)).Round(time.Second),
+			time.Duration(res.P90RefreshDelay*float64(time.Second)).Round(time.Second),
+			res.OnTimeRatio)
+		fmt.Printf("overhead:            %.2f tx/version (%d total; source share %.3f)\n",
+			res.TxPerVersion, res.Transmissions, res.SourceTxShare)
+		fmt.Printf("first-delivery on-time ratio: %.4f (requirement %.2f)\n",
+			sim.FirstDeliveryOnTimeRatio(), *preq)
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	if observer != nil {
+		return writeObs(*obsDir, observer, start, args, *seed)
+	}
+	return nil
+}
+
+// writeObs flushes the observer's trace and a run manifest into dir.
+func writeObs(dir string, observer *obs.Observer, start time.Time, args []string, seed int64) error {
+	var outputs []string
+	for _, f := range []struct {
+		name  string
+		write func(*os.File) error
+	}{
+		{"events.jsonl", func(f *os.File) error { return observer.WriteJSONL(f) }},
+		{"trace.json", func(f *os.File) error { return observer.WriteChromeTrace(f) }},
+	} {
+		path := filepath.Join(dir, f.name)
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f.write(out); err != nil {
+			out.Close()
+			return fmt.Errorf("obs: %s: %w", f.name, err)
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		outputs = append(outputs, path)
+	}
+	m := obs.NewManifest("freshsim")
+	m.Command = append([]string{"freshsim"}, args...)
+	m.Seed = seed
+	m.Outputs = outputs
+	snap := observer.Metrics.Snapshot()
+	m.Metrics = &snap
+	st := observer.Stats()
+	m.Events = &st
+	m.SchemeStats = observer.SchemeRollups()
+	m.FinishResources(start)
+	return m.Write(filepath.Join(dir, "manifest.json"))
+}
+
+// runReplicated runs the scheme over `runs` consecutive seeds and reports
+// the mean and 95% confidence half-width of the headline metrics.
+func runReplicated(runs int, baseSeed int64, scheme string, baseOpts []freshcache.Option, observer *obs.Observer) error {
+	var fresh, valid, tx []float64
+	for i := 0; i < runs; i++ {
+		opts := append([]freshcache.Option{
+			freshcache.WithScheme(freshcache.SchemeName(scheme)),
+		}, baseOpts...)
+		// Applied last so it overrides the base -seed flag.
+		opts = append(opts, freshcache.WithSeed(baseSeed+int64(i)))
+		rt := observer.Run(fmt.Sprintf("freshsim/%s/seed-%d", scheme, baseSeed+int64(i)))
+		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
+		sim, err := freshcache.New(opts...)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		observer.Commit(rt)
+		observer.RecordRun(res.Scheme, res)
 		fresh = append(fresh, res.FreshnessRatio)
 		valid = append(valid, res.ValidAccessRate)
 		tx = append(tx, res.TxPerVersion)
@@ -202,12 +273,14 @@ func runReplicated(runs int, baseSeed int64, scheme string, baseOpts []freshcach
 
 // runComparison runs each named scheme over the identical configuration
 // and prints one comparison row per scheme.
-func runComparison(schemes string, baseOpts []freshcache.Option) error {
+func runComparison(schemes string, baseOpts []freshcache.Option, observer *obs.Observer) error {
 	fmt.Printf("%-20s  %-9s  %-11s  %-10s  %-12s  %-8s\n",
 		"scheme", "freshness", "validAccess", "tx/version", "sourceShare", "loadGini")
 	for _, name := range strings.Split(schemes, ",") {
 		name = strings.TrimSpace(name)
 		opts := append([]freshcache.Option{freshcache.WithScheme(freshcache.SchemeName(name))}, baseOpts...)
+		rt := observer.Run("freshsim/" + name)
+		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
 		sim, err := freshcache.New(opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -216,6 +289,8 @@ func runComparison(schemes string, baseOpts []freshcache.Option) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		observer.Commit(rt)
+		observer.RecordRun(res.Scheme, res)
 		fmt.Printf("%-20s  %-9.4f  %-11.4f  %-10.2f  %-12.3f  %-8.3f\n",
 			name, res.FreshnessRatio, res.ValidAccessRate, res.TxPerVersion,
 			res.SourceTxShare, res.LoadGini)

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"freshcache/internal/mobility"
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -80,5 +83,29 @@ func TestRunReplicated(t *testing.T) {
 	path := smallTraceFile(t)
 	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithObservability(t *testing.T) {
+	path := smallTraceFile(t)
+	dir := filepath.Join(t.TempDir(), "obs")
+	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-obs", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"events.jsonl", "trace.json", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing obs output %s: %v", name, err)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest.json invalid: %v", err)
+	}
+	if m.Tool != "freshsim" || m.Events == nil || m.Events.Runs != 1 {
+		t.Fatalf("manifest incomplete: %+v", m)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
 	"freshcache/internal/network"
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -143,6 +144,8 @@ type options struct {
 	sprayCopies     int
 	queryRelays     int
 	rebuildInterval float64
+	obsTrace        *obs.RunTrace
+	obsMetrics      *obs.Registry
 }
 
 // Option configures a Simulation.
@@ -430,6 +433,21 @@ func WithRebuildInterval(interval time.Duration) Option {
 	}
 }
 
+// WithObservability attaches a per-run event trace and metric registry
+// (package internal/obs) to the simulation: the engine and scheme emit
+// typed events (contact begin/end, refresh scheduled/delivered,
+// replication planned, cache hit/miss, …) into tr and count hot-path
+// totals in reg. Either argument may be nil. The option exists for the
+// module's own commands; callers outside the module observe runs through
+// Result instead.
+func WithObservability(tr *obs.RunTrace, reg *obs.Registry) Option {
+	return func(o *options) error {
+		o.obsTrace = tr
+		o.obsMetrics = reg
+		return nil
+	}
+}
+
 // WithSprayCopies sets the per-version copy budget of the spray-and-wait
 // scheme (default 8). Only meaningful with SchemeSprayAndWait.
 func WithSprayCopies(l int) Option {
@@ -531,6 +549,8 @@ func New(opts ...Option) (*Simulation, error) {
 		RebuildInterval: o.rebuildInterval,
 		QueryRelays:     o.queryRelays,
 		Churn:           network.ChurnConfig{MeanUp: o.churnUp, MeanDown: o.churnDown},
+		Obs:             o.obsTrace,
+		Metrics:         o.obsMetrics,
 	}
 	if o.distributed {
 		cfg.Knowledge = core.KnowledgeDistributed

@@ -10,6 +10,7 @@ import (
 	"freshcache/internal/eventsim"
 	"freshcache/internal/metrics"
 	"freshcache/internal/network"
+	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
@@ -55,6 +56,9 @@ type Runtime struct {
 	RelayBufferCap int
 	// Seed lets schemes derive their own deterministic randomness.
 	Seed int64
+	// Obs is the run's event trace (nil when tracing is off). Emit is
+	// nil-safe, so schemes record unconditionally.
+	Obs *obs.RunTrace
 
 	eng *Engine
 	// isCaching is indexed by NodeID — the per-contact membership test is
@@ -209,6 +213,13 @@ type Config struct {
 	// Placement selects the caching-node placement policy (default:
 	// greedy contact coverage, the paper family's NCL selection).
 	Placement centrality.Placement
+	// Obs, when non-nil, receives the run's typed event trace (contacts,
+	// refresh deliveries, replication plans, query outcomes, ...).
+	Obs *obs.RunTrace
+	// Metrics, when non-nil, receives the run's registry metrics (contact
+	// and delivery counters, event-queue depth). Both stay nil in
+	// benchmarks: the disabled path is a handful of nil checks.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -293,6 +304,13 @@ type Engine struct {
 	// processed one at a time, so a single buffer serves every call.
 	qscratch []*cache.Query
 
+	// Observability: obsTrace receives typed events (nil = off); the
+	// metric handles are resolved once at construction and are nil (no-op)
+	// when cfg.Metrics is nil.
+	obsTrace    *obs.RunTrace
+	cContacts   *obs.Counter
+	cDeliveries *obs.Counter
+
 	initErr error // deferred error from the epoch event
 }
 
@@ -303,12 +321,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:       cfg,
-		sim:       eventsim.New(),
-		collector: metrics.New(),
-		book:      cache.NewQueryBook(cfg.Workload.Timeout),
-		stores:    make([]*cache.Store, cfg.Trace.N),
-		sources:   make(map[trace.NodeID][]cache.ItemID),
+		cfg:         cfg,
+		sim:         eventsim.New(),
+		collector:   metrics.New(),
+		book:        cache.NewQueryBook(cfg.Workload.Timeout),
+		stores:      make([]*cache.Store, cfg.Trace.N),
+		sources:     make(map[trace.NodeID][]cache.ItemID),
+		obsTrace:    cfg.Obs,
+		cContacts:   cfg.Metrics.Counter("engine/contacts"),
+		cDeliveries: cfg.Metrics.Counter("engine/deliveries"),
 	}
 	e.epoch = cfg.Trace.Duration * cfg.WarmupFraction
 	e.horizon = cfg.Trace.Duration
@@ -353,10 +374,34 @@ func (e *Engine) Run() (metrics.Result, error) {
 		if e.rt == nil || e.initErr != nil {
 			return
 		}
+		e.cContacts.Inc()
+		if e.obsTrace != nil {
+			e.obsTrace.Emit(obs.Event{
+				T: c.Time, Kind: obs.KindContactBegin,
+				A: int32(c.A), B: int32(c.B), Item: -1, Ver: -1, Val: c.Duration,
+			})
+		}
 		e.cfg.Scheme.OnContact(c)
 		e.resolveQueries(c)
 		e.processDelegation(c)
+		if e.obsTrace != nil {
+			e.obsTrace.Emit(obs.Event{
+				T: c.Time + c.Duration, Kind: obs.KindContactEnd,
+				A: int32(c.A), B: int32(c.B), Item: -1, Ver: -1,
+			})
+		}
 	}))
+	if e.cfg.Metrics != nil {
+		// Sample event-queue depth every few hundred processed events: the
+		// histogram shows how deep the future-event list runs without
+		// touching per-event cost in unobserved runs (the hook stays nil).
+		depth := e.cfg.Metrics.Histogram("eventsim/queue_depth", obs.DepthBuckets())
+		e.sim.SetProcessedHook(func(processed uint64, pending int) {
+			if processed%256 == 0 {
+				depth.Observe(float64(pending))
+			}
+		})
+	}
 	if err := e.net.Schedule(); err != nil {
 		return metrics.Result{}, err
 	}
@@ -377,6 +422,25 @@ func (e *Engine) Run() (metrics.Result, error) {
 	}
 	if e.initErr != nil {
 		return metrics.Result{}, e.initErr
+	}
+
+	if e.obsTrace != nil {
+		// Query outcomes settle only once the run ends (a pending query may
+		// yet be served), so hits and misses are emitted here, in the
+		// deterministic issue order of the query book.
+		for _, q := range e.book.All() {
+			ev := obs.Event{A: int32(q.Requester), B: -1, Item: int32(q.Item), Ver: -1}
+			switch {
+			case q.Served && q.Valid:
+				ev.T, ev.Kind, ev.Ver = q.ServedAt, obs.KindCacheHit, int32(q.ServedVersion)
+				ev.Val = q.ServedAt - q.ServedGeneratedAt
+			case q.Served:
+				ev.T, ev.Kind, ev.Ver = q.ServedAt, obs.KindCacheMiss, int32(q.ServedVersion)
+			default:
+				ev.T, ev.Kind = e.horizon, obs.KindCacheMiss
+			}
+			e.obsTrace.Emit(ev)
+		}
 	}
 
 	txByKind := make(map[string]int)
@@ -464,6 +528,7 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 		MaxRelays:      e.cfg.MaxRelays,
 		RelayBufferCap: e.cfg.RelayBufferCap,
 		Seed:           e.cfg.Seed,
+		Obs:            e.obsTrace,
 		eng:            e,
 		isCaching:      make([]bool, e.cfg.Trace.N),
 	}
@@ -493,6 +558,18 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 					if err := rb.Rebuild(e.rt); err != nil && e.initErr == nil {
 						e.initErr = err
 						e.sim.Stop()
+						return
+					}
+					if e.obsTrace != nil {
+						// Responsibility for future versions now follows the
+						// rebuilt trees; one event per item, rooted at its
+						// source.
+						for _, it := range e.cfg.Catalog.View() {
+							e.obsTrace.Emit(obs.Event{
+								T: tnow, Kind: obs.KindDutyReassigned,
+								A: int32(it.Source), B: -1, Item: int32(it.ID), Ver: -1,
+							})
+						}
 					}
 				}); err != nil {
 					return err
@@ -512,6 +589,12 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 			v := v
 			if _, err := e.sim.ScheduleAt(at, func(tnow float64) {
 				e.collector.RecordGeneration()
+				if e.obsTrace != nil {
+					e.obsTrace.Emit(obs.Event{
+						T: tnow, Kind: obs.KindGenerate,
+						A: int32(it.Source), B: -1, Item: int32(it.ID), Ver: int32(v),
+					})
+				}
 				e.cfg.Scheme.OnGenerate(it, v, tnow)
 			}); err != nil {
 				return err
@@ -581,6 +664,14 @@ func (e *Engine) deliverToCache(node trace.NodeID, c cache.Copy, now float64) bo
 		DeliveredAt: now,
 		OnTime:      now-c.GeneratedAt <= it.FreshnessWindow,
 	})
+	e.cDeliveries.Inc()
+	if e.obsTrace != nil {
+		e.obsTrace.Emit(obs.Event{
+			T: now, Kind: obs.KindRefreshDelivered,
+			A: -1, B: int32(node), Item: int32(c.Item), Ver: int32(c.Version),
+			Val: now - c.GeneratedAt,
+		})
+	}
 	return true
 }
 
@@ -616,6 +707,12 @@ func (e *Engine) issueQuery(q *cache.Query, now float64) {
 		return
 	}
 	e.book.Issue(q)
+	if e.obsTrace != nil {
+		e.obsTrace.Emit(obs.Event{
+			T: now, Kind: obs.KindQueryIssued,
+			A: int32(q.Requester), B: -1, Item: int32(q.Item), Ver: -1,
+		})
+	}
 	if q.Requester == it.Source {
 		v := cache.CurrentVersion(it, e.rt.Epoch, now)
 		if v >= 0 {

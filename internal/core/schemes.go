@@ -8,6 +8,7 @@ import (
 	"freshcache/internal/cache"
 	"freshcache/internal/centrality"
 	"freshcache/internal/network"
+	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
@@ -450,6 +451,13 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 					s.plansSatisfied++
 				}
 				s.sumAchieved += plan.AchievedProb
+				if s.rt.Obs != nil {
+					s.rt.Obs.Emit(obs.Event{
+						T: now, Kind: obs.KindReplicationPlanned,
+						A: int32(holder), B: int32(dest), Item: int32(it.ID), Ver: int32(version),
+						Val: plan.AchievedProb,
+					})
+				}
 				if len(plan.Relays) > 0 {
 					if d.relayFor == nil {
 						d.relayFor = make([]*bitset.Set, s.n)
@@ -475,6 +483,13 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 		s.dutyCount[holder]++
 	}
 	row[it.ID] = d // replaces any older-version duty
+	if s.rt.Obs != nil {
+		s.rt.Obs.Emit(obs.Event{
+			T: now, Kind: obs.KindRefreshScheduled,
+			A: int32(holder), B: -1, Item: int32(it.ID), Ver: int32(version),
+			Val: float64(ndests),
+		})
+	}
 }
 
 // randomPlan draws MaxRelays distinct random relays (excluding holder and
@@ -632,6 +647,12 @@ func (s *refreshScheme) giveToRelay(c *network.Contact, holder, relay trace.Node
 	}
 	entry.dests.Or(live)
 	s.relays[relay] = insertRelayEntry(buf, entry)
+	if s.rt.Obs != nil {
+		s.rt.Obs.Emit(obs.Event{
+			T: c.Time, Kind: obs.KindRelayHandoff,
+			A: int32(holder), B: int32(relay), Item: int32(d.key.item), Ver: int32(d.key.version),
+		})
+	}
 	return true
 }
 

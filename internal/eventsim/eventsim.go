@@ -90,6 +90,17 @@ type Simulator struct {
 	// processed counts events executed, for diagnostics and scalability
 	// experiments.
 	processed uint64
+	// onProcessed, when set, observes (processed count, pending count)
+	// after each executed event. Kept nil in normal runs so the hot loop
+	// pays one predictable branch.
+	onProcessed func(processed uint64, pending int)
+}
+
+// SetProcessedHook installs f to be called after every executed event with
+// the cumulative processed count and the current queue depth. Pass nil to
+// remove. Observability layers use this to sample event-queue depth.
+func (s *Simulator) SetProcessedHook(f func(processed uint64, pending int)) {
+	s.onProcessed = f
 }
 
 // New returns a simulator positioned at time zero with an empty event
@@ -223,6 +234,9 @@ func (s *Simulator) Run(until float64) (float64, error) {
 		// schedule new events (which may reuse this very struct).
 		s.recycle(popped)
 		h(s.now)
+		if s.onProcessed != nil {
+			s.onProcessed(s.processed, s.queue.Len())
+		}
 	}
 	if s.now < until && !s.stopped {
 		s.now = until

@@ -6,6 +6,7 @@ import (
 	"freshcache/internal/core"
 	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
+	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
@@ -31,6 +32,15 @@ type Options struct {
 	// experiment's simulation runs. It must be safe for concurrent use;
 	// metrics.NewRunStats is.
 	Stats *metrics.RunStats
+	// Obs, when non-nil, collects per-run event traces, registry metrics
+	// and per-scheme histogram roll-ups (the `-obs` flag). Nil means
+	// observability off: the hot paths then see nil traces/registries and
+	// record nothing.
+	Obs *obs.Observer
+	// Timings includes wall-clock timing columns in tables that have them
+	// (E10). Off by default so the quick-suite output is byte-identical
+	// across machines and worker counts with no carve-outs.
+	Timings bool
 }
 
 // record folds one run's result into the optional stats accumulator.
@@ -51,7 +61,32 @@ func (o Options) sweep(id string, presets []string, points int, schemes []string
 		Replicates: o.Replicates,
 		Parallel:   o.Parallel,
 		BaseSeed:   o.Seed,
+		Obs:        o.Obs,
 	}
+}
+
+// cellLabel names one sweep cell's run trace. Labels are unique across a
+// suite run (the grid coordinates are), which the observer's deterministic
+// flush order relies on.
+func cellLabel(c Cell) string {
+	return fmt.Sprintf("%s/%s/p%02d/%s/r%d", c.Experiment, c.Preset, c.Point, c.Scheme, c.Replicate)
+}
+
+// runScenario runs one labelled scenario with the options' observability
+// attached: the run gets its own event trace and the shared registry, and
+// a successful result is folded into Stats and the per-scheme roll-ups.
+func (o Options) runScenario(label string, sc Scenario, scheme core.Scheme, tr *trace.Trace) (metrics.Result, *core.Engine, error) {
+	rt := o.Obs.Run(label)
+	sc.Obs = rt
+	sc.Metrics = o.Obs.Registry()
+	res, eng, err := sc.RunOnTrace(scheme, tr)
+	if err != nil {
+		return res, eng, err
+	}
+	o.record(res)
+	o.Obs.Commit(rt)
+	o.Obs.RecordRun(res.Scheme, res)
+	return res, eng, nil
 }
 
 // Experiment is one reproducible unit of the evaluation: it regenerates
@@ -182,11 +217,10 @@ func runSweepCell(opts Options, c Cell, mutate func(sc *Scenario), extract func(
 	if err != nil {
 		return nil, err
 	}
-	res, eng, err := sc.RunOnTrace(scheme, tr)
+	res, eng, err := opts.runScenario(cellLabel(c), sc, scheme, tr)
 	if err != nil {
 		return nil, err
 	}
-	opts.record(res)
 	return extract(res, eng), nil
 }
 
@@ -306,11 +340,10 @@ func runE5(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, _, err := sc.RunOnTrace(scheme, tr)
+			res, _, err := opts.runScenario("E5/"+preset+"/"+name, sc, scheme, tr)
 			if err != nil {
 				return nil, err
 			}
-			opts.record(res)
 			t.AddRow(preset, name, res.TxPerVersion,
 				res.TransmissionsByKind["refresh"], res.TransmissionsByKind["relay"],
 				res.SourceTxShare, res.MaxNodeTxShare, res.LoadGini, res.FreshnessRatio)
@@ -345,11 +378,10 @@ func runE6(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, eng, err := sc.RunOnTrace(scheme, tr)
+			_, eng, err := opts.runScenario("E6/"+preset+"/"+name, sc, scheme, tr)
 			if err != nil {
 				return nil, err
 			}
-			opts.record(res)
 			cols[i] = eng.Collector().DelayCDF(probes)
 		}
 		for pi, f := range fractions {
@@ -447,11 +479,10 @@ func runE9(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, _, err := sc.RunOnTrace(scheme, tr)
+			res, _, err := opts.runScenario("E9/"+preset+"/"+name, sc, scheme, tr)
 			if err != nil {
 				return nil, err
 			}
-			opts.record(res)
 			t.AddRow(preset, name, res.FreshnessRatio, res.TxPerVersion,
 				res.SourceTxShare, res.MeanRefreshDelay/mobility.Hour)
 		}
@@ -464,9 +495,16 @@ func runE10(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		sizes = sizes[:2]
 	}
+	// The wall-clock column is machine-dependent, so it is opt-in
+	// (-timings); without it the quick-suite output is byte-identical
+	// across machines and worker counts.
+	header := []string{"nodes", "contacts", "events", "freshness", "tx/version"}
+	if opts.Timings {
+		header = []string{"nodes", "contacts", "events", "wallClock(s)", "freshness", "tx/version"}
+	}
 	t := &Table{
 		ID: "E10", Title: "Scalability with network size (hierarchical scheme)",
-		Header: []string{"nodes", "contacts", "events", "wallClock(s)", "freshness", "tx/version"},
+		Header: header,
 	}
 	for _, n := range sizes {
 		g := &mobility.Community{
@@ -480,13 +518,16 @@ func runE10(opts Options) ([]*Table, error) {
 			return nil, err
 		}
 		sc := defaultScenario("reality-like", opts.Seed) // preset field unused by RunOnTrace
-		res, _, err := sc.RunOnTrace(core.NewHierarchical(), tr)
+		res, _, err := opts.runScenario(fmt.Sprintf("E10/scale-%d", n), sc, core.NewHierarchical(), tr)
 		if err != nil {
 			return nil, err
 		}
-		opts.record(res)
-		t.AddRow(n, len(tr.Contacts), int(res.SimulatedEventCount), res.WallClockSeconds,
-			res.FreshnessRatio, res.TxPerVersion)
+		row := []any{n, len(tr.Contacts), int(res.SimulatedEventCount)}
+		if opts.Timings {
+			row = append(row, res.WallClockSeconds)
+		}
+		row = append(row, res.FreshnessRatio, res.TxPerVersion)
+		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
 }

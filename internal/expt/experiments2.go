@@ -118,11 +118,20 @@ func runExtCell(opts Options, c Cell, mutate func(*core.Config)) (metrics.Result
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	res, err := runExtOn(tr, c.Seed, c.Scheme, mutate)
+	rt := opts.Obs.Run(cellLabel(c))
+	res, err := runExtOn(tr, c.Seed, c.Scheme, func(cfg *core.Config) {
+		cfg.Obs = rt
+		cfg.Metrics = opts.Obs.Registry()
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
 	if err != nil {
 		return metrics.Result{}, err
 	}
 	opts.record(res)
+	opts.Obs.Commit(rt)
+	opts.Obs.RecordRun(res.Scheme, res)
 	return res, nil
 }
 
@@ -531,7 +540,7 @@ func runE19(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, eng, err := sc.RunOnTrace(scheme, tr)
+			_, eng, err := opts.runScenario("E19/"+preset+"/"+name, sc, scheme, tr)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,159 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"freshcache/internal/metrics"
+	"freshcache/internal/obs"
+)
+
+// runQuickE2Obs runs the quick E2 sweep with the given worker bound and
+// returns the observer's flushed JSONL and Chrome trace bytes plus the
+// rendered tables.
+func runQuickE2Obs(t *testing.T, parallel int) (jsonl, chrome []byte, tables []*Table) {
+	t.Helper()
+	e, err := ByID("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Config{SampleEvery: 4})
+	tables, err = e.Run(Options{
+		Seed: 42, Quick: true, Parallel: parallel,
+		Stats: metrics.NewRunStats(), Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jl, ct bytes.Buffer
+	if err := o.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteChromeTrace(&ct); err != nil {
+		t.Fatal(err)
+	}
+	return jl.Bytes(), ct.Bytes(), tables
+}
+
+// TestObsTraceDeterministicAcrossParallel is the golden determinism check:
+// with observability on, the flushed event trace and Chrome trace must be
+// byte-identical whether the sweep ran on one worker or eight.
+func TestObsTraceDeterministicAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick E2 sweep twice")
+	}
+	jl1, ct1, tb1 := runQuickE2Obs(t, 1)
+	jl8, ct8, tb8 := runQuickE2Obs(t, 8)
+	if len(jl1) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	if !bytes.Equal(jl1, jl8) {
+		t.Fatalf("JSONL trace diverged across -parallel (1: %d bytes, 8: %d bytes)", len(jl1), len(jl8))
+	}
+	if !bytes.Equal(ct1, ct8) {
+		t.Fatalf("Chrome trace diverged across -parallel (1: %d bytes, 8: %d bytes)", len(ct1), len(ct8))
+	}
+	if len(tb1) != len(tb8) || tb1[0].CSV() != tb8[0].CSV() {
+		t.Fatal("tables diverged across -parallel")
+	}
+
+	// Every JSONL line is valid standalone JSON with a run label matching
+	// the cell-label scheme.
+	lines := strings.Split(strings.TrimSpace(string(jl1)), "\n")
+	for _, line := range lines[:min(len(lines), 50)] {
+		var m struct {
+			Run  string  `json:"run"`
+			T    float64 `json:"t"`
+			Kind string  `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if !strings.HasPrefix(m.Run, "E2/") || m.Kind == "" {
+			t.Fatalf("unexpected trace record: %q", line)
+		}
+	}
+
+	// The Chrome export must be one valid JSON document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ct1, &doc); err != nil {
+		t.Fatalf("Chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace empty")
+	}
+}
+
+// TestObsRollupsPopulated checks the sweep-level registry and per-scheme
+// roll-ups fill in during a real run.
+func TestObsRollupsPopulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick E2 sweep")
+	}
+	e, err := ByID("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Config{SampleEvery: 16})
+	if _, err := e.Run(Options{Seed: 42, Quick: true, Parallel: 4, Stats: metrics.NewRunStats(), Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	reg := o.Registry()
+	queued := reg.Counter("sweep/cells_queued").Value()
+	done := reg.Counter("sweep/cells_done").Value()
+	if queued == 0 || queued != done {
+		t.Fatalf("cells queued=%d done=%d", queued, done)
+	}
+	if reg.Counter("engine/contacts").Value() == 0 {
+		t.Fatal("engine/contacts counter never incremented")
+	}
+	if reg.Counter("engine/deliveries").Value() == 0 {
+		t.Fatal("engine/deliveries counter never incremented")
+	}
+	if reg.Histogram("eventsim/queue_depth", nil).Count() == 0 {
+		t.Fatal("queue-depth histogram never observed")
+	}
+	rollups := o.SchemeRollups()
+	if len(rollups) == 0 {
+		t.Fatal("no scheme rollups")
+	}
+	for _, ru := range rollups {
+		if ru.Runs == 0 || ru.DeliveryDelayHist == nil {
+			t.Fatalf("rollup incomplete: %+v", ru)
+		}
+	}
+	st := o.Stats()
+	if st.Runs == 0 || st.Seen == 0 {
+		t.Fatalf("event stats empty: %+v", st)
+	}
+}
+
+// TestE10TimingsOptIn: the wall-clock column appears only with
+// Options.Timings, keeping default output machine-independent.
+func TestE10TimingsOptIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E10 twice")
+	}
+	e, err := ByID("E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Run(Options{Seed: 42, Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := e.Run(Options{Seed: 42, Quick: true, Parallel: 4, Timings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain[0].CSV(), "wallClock") {
+		t.Fatalf("default E10 has wall-clock column:\n%s", plain[0].CSV())
+	}
+	if !strings.Contains(timed[0].CSV(), "wallClock(s)") {
+		t.Fatalf("-timings E10 missing wall-clock column:\n%s", timed[0].CSV())
+	}
+}

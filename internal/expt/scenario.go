@@ -7,6 +7,7 @@ import (
 	"freshcache/internal/core"
 	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -23,6 +24,11 @@ type Scenario struct {
 	QueryRate       float64 // per node (1/s); 0 disables queries
 	PReq            float64 // defaults to 0.9
 	Seed            int64
+
+	// Obs and Metrics thread per-run observability into the engine (both
+	// nil when -obs is off).
+	Obs     *obs.RunTrace
+	Metrics *obs.Registry
 }
 
 // defaultScenario is the base point of every sweep, matching the paper
@@ -106,6 +112,8 @@ func (sc Scenario) RunOnTrace(scheme core.Scheme, tr *trace.Trace) (metrics.Resu
 		NumCachingNodes: sc.NumCachingNodes,
 		PReq:            sc.PReq,
 		Seed:            sc.Seed,
+		Obs:             sc.Obs,
+		Metrics:         sc.Metrics,
 	}
 	if sc.QueryRate > 0 {
 		cfg.Workload = cache.WorkloadConfig{QueryRate: sc.QueryRate, ZipfExponent: 1.0}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"freshcache/internal/mobility"
+	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
@@ -66,6 +67,9 @@ type Sweep struct {
 	Parallel int
 	// BaseSeed is the experiment's base seed.
 	BaseSeed int64
+	// Obs, when non-nil, tracks sweep progress (cells queued/done, queue
+	// depth) in its registry. Cell-level tracing is the cell body's job.
+	Obs *obs.Observer
 }
 
 func (s Sweep) schemes() []string {
@@ -136,6 +140,7 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 	cells := s.cells()
 	runs := make([][]float64, len(cells))
 	errs := make([]error, len(cells))
+	s.Obs.CellQueued(len(cells))
 
 	var failed atomic.Bool
 	idx := make(chan int)
@@ -146,6 +151,7 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 			defer wg.Done()
 			for i := range idx {
 				if failed.Load() {
+					s.Obs.CellDone()
 					continue // drain: a cell already failed
 				}
 				v, err := fn(cells[i])
@@ -153,6 +159,7 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 				if err != nil {
 					failed.Store(true)
 				}
+				s.Obs.CellDone()
 			}
 		}()
 	}

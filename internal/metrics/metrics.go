@@ -109,8 +109,18 @@ type Result struct {
 	Deliveries        int     `json:"deliveries"`
 	OnTimeRatio       float64 `json:"onTimeRatio"` // fraction within freshness window
 	MeanRefreshDelay  float64 `json:"meanRefreshDelaySec"`
+	P50RefreshDelay   float64 `json:"p50RefreshDelaySec"`
 	P90RefreshDelay   float64 `json:"p90RefreshDelaySec"`
+	P99RefreshDelay   float64 `json:"p99RefreshDelaySec"`
 	VersionsGenerated int     `json:"versionsGenerated"`
+
+	// DeliveryDelayHist buckets the refresh delivery delays (seconds from
+	// generation to arrival at a caching node); RefreshAgeHist buckets the
+	// age of served copies at query-service time (seconds since the served
+	// version was generated). Both use DelayBuckets bounds so they merge
+	// across runs in RunStats and the obs roll-ups.
+	DeliveryDelayHist *Hist `json:"deliveryDelayHist,omitempty"`
+	RefreshAgeHist    *Hist `json:"refreshAgeHist,omitempty"`
 
 	// Overhead.
 	Transmissions       int            `json:"transmissions"`
@@ -163,6 +173,10 @@ func Aggregate(c *Collector, queries []*cache.Query, txByKind map[string]int, tx
 		}
 		r.Answered++
 		delays = append(delays, q.ServedAt-q.IssuedAt)
+		if r.RefreshAgeHist == nil {
+			r.RefreshAgeHist = NewHist(DelayBuckets())
+		}
+		r.RefreshAgeHist.Observe(q.ServedAt - q.ServedGeneratedAt)
 		if q.Fresh {
 			fresh++
 		}
@@ -187,16 +201,20 @@ func Aggregate(c *Collector, queries []*cache.Query, txByKind map[string]int, tx
 	if len(c.deliveries) > 0 {
 		onTime := 0
 		dls := make([]float64, 0, len(c.deliveries))
+		r.DeliveryDelayHist = NewHist(DelayBuckets())
 		for _, d := range c.deliveries {
 			if d.OnTime {
 				onTime++
 			}
 			dls = append(dls, d.Delay())
+			r.DeliveryDelayHist.Observe(d.Delay())
 		}
 		r.OnTimeRatio = float64(onTime) / float64(len(c.deliveries))
 		s := stats.Summarize(dls)
 		r.MeanRefreshDelay = s.Mean
+		r.P50RefreshDelay = s.Median
 		r.P90RefreshDelay = s.P90
+		r.P99RefreshDelay = s.P99
 	}
 
 	if c.generated > 0 {

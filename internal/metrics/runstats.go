@@ -9,16 +9,18 @@ import (
 
 // RunStats accumulates execution statistics across the simulation runs
 // ("cells") of one experiment or sweep: discrete events processed by the
-// event engine, transmissions by kind, and summed per-run wall time. It is
-// safe for concurrent use, so the parallel sweep runner's workers can
-// record into one shared instance.
+// event engine, transmissions by kind, summed per-run wall time, and merged
+// delay histograms. It is safe for concurrent use, so the parallel sweep
+// runner's workers can record into one shared instance.
 type RunStats struct {
-	mu      sync.Mutex
-	runs    int
-	events  uint64
-	tx      int
-	txKind  map[string]int
-	seconds float64
+	mu        sync.Mutex
+	runs      int
+	events    uint64
+	tx        int
+	txKind    map[string]int
+	seconds   float64
+	delayHist *Hist
+	ageHist   *Hist
 }
 
 // NewRunStats returns an empty accumulator.
@@ -36,6 +38,18 @@ func (s *RunStats) Record(r Result) {
 	for kind, n := range r.TransmissionsByKind {
 		s.txKind[kind] += n
 		s.tx += n
+	}
+	if r.DeliveryDelayHist != nil {
+		if s.delayHist == nil {
+			s.delayHist = NewHist(r.DeliveryDelayHist.Bounds)
+		}
+		s.delayHist.Merge(r.DeliveryDelayHist)
+	}
+	if r.RefreshAgeHist != nil {
+		if s.ageHist == nil {
+			s.ageHist = NewHist(r.RefreshAgeHist.Bounds)
+		}
+		s.ageHist.Merge(r.RefreshAgeHist)
 	}
 }
 
@@ -60,7 +74,32 @@ func (s *RunStats) Transmissions() int {
 	return s.tx
 }
 
-// TxByKind returns a copy of the per-kind transmission totals.
+// KindCount is one (transmission kind, total) pair.
+type KindCount struct {
+	Kind  string
+	Count int
+}
+
+// KindCounts returns the per-kind transmission totals in ascending kind
+// order. All renderings of the per-kind breakdown go through this accessor
+// so footers and manifests never depend on map-iteration order.
+func (s *RunStats) KindCounts() []KindCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kindCountsLocked()
+}
+
+func (s *RunStats) kindCountsLocked() []KindCount {
+	out := make([]KindCount, 0, len(s.txKind))
+	for k, v := range s.txKind {
+		out = append(out, KindCount{Kind: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// TxByKind returns a copy of the per-kind transmission totals. Prefer
+// KindCounts when rendering: map iteration order is deliberately random.
 func (s *RunStats) TxByKind() map[string]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -80,6 +119,22 @@ func (s *RunStats) RunSeconds() float64 {
 	return s.seconds
 }
 
+// DeliveryDelayHist returns a copy of the merged delivery-delay histogram
+// (nil when no run recorded one).
+func (s *RunStats) DeliveryDelayHist() *Hist {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delayHist.Clone()
+}
+
+// RefreshAgeHist returns a copy of the merged refresh-age histogram (nil
+// when no run recorded one).
+func (s *RunStats) RefreshAgeHist() *Hist {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ageHist.Clone()
+}
+
 // Summary renders the block in one line given the enclosing experiment's
 // elapsed wall-clock seconds (which determines cells/sec).
 func (s *RunStats) Summary(wallSeconds float64) string {
@@ -92,16 +147,20 @@ func (s *RunStats) Summary(wallSeconds float64) string {
 	}
 	fmt.Fprintf(&b, " events=%d tx=%d", s.events, s.tx)
 	if len(s.txKind) > 0 {
-		kinds := make([]string, 0, len(s.txKind))
-		for k := range s.txKind {
-			kinds = append(kinds, k)
-		}
-		sort.Strings(kinds)
-		parts := make([]string, len(kinds))
-		for i, k := range kinds {
-			parts[i] = fmt.Sprintf("%s %d", k, s.txKind[k])
+		kcs := s.kindCountsLocked()
+		parts := make([]string, len(kcs))
+		for i, kc := range kcs {
+			parts[i] = fmt.Sprintf("%s %d", kc.Kind, kc.Count)
 		}
 		fmt.Fprintf(&b, " [%s]", strings.Join(parts, ", "))
+	}
+	if s.delayHist != nil && s.delayHist.Total > 0 {
+		fmt.Fprintf(&b, " delay[p50=%.0fs p90=%.0fs p99=%.0fs]",
+			s.delayHist.Quantile(0.50), s.delayHist.Quantile(0.90), s.delayHist.Quantile(0.99))
+	}
+	if s.ageHist != nil && s.ageHist.Total > 0 {
+		fmt.Fprintf(&b, " age[p50=%.0fs p90=%.0fs p99=%.0fs]",
+			s.ageHist.Quantile(0.50), s.ageHist.Quantile(0.90), s.ageHist.Quantile(0.99))
 	}
 	fmt.Fprintf(&b, " simWall=%.2fs", s.seconds)
 	return b.String()

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// Perfetto and chrome://tracing ({"traceEvents":[...]}). Each run becomes
+// one "process" (pid = run index in sorted-label order, named by a
+// process_name metadata event); each node becomes a "thread" (tid) inside
+// it. Contacts render as complete ("X") slices spanning their duration;
+// every other event kind renders as a thread-scoped instant ("i").
+// Timestamps are microseconds, matching the format's convention.
+
+func appendChromeCommon(dst []byte, name string, ph byte, tsMicros float64, pid, tid int) []byte {
+	dst = append(dst, `{"name":`...)
+	dst = strconv.AppendQuote(dst, name)
+	dst = append(dst, `,"ph":"`...)
+	dst = append(dst, ph)
+	dst = append(dst, `","ts":`...)
+	dst = strconv.AppendFloat(dst, tsMicros, 'g', -1, 64)
+	dst = append(dst, `,"pid":`...)
+	dst = strconv.AppendInt(dst, int64(pid), 10)
+	dst = append(dst, `,"tid":`...)
+	dst = strconv.AppendInt(dst, int64(tid), 10)
+	return dst
+}
+
+func appendChromeEvent(dst []byte, ev Event, pid int, first bool) []byte {
+	if ev.Kind == KindContactEnd {
+		// The matching contact_begin carries the duration; a separate end
+		// slice would double-draw the contact.
+		return dst
+	}
+	if !first {
+		dst = append(dst, ',', '\n')
+	}
+	tid := 0
+	if ev.A >= 0 {
+		tid = int(ev.A)
+	}
+	ts := ev.T * 1e6
+	if ev.Kind == KindContactBegin {
+		dst = appendChromeCommon(dst, ev.Kind.String(), 'X', ts, pid, tid)
+		dst = append(dst, `,"dur":`...)
+		dst = strconv.AppendFloat(dst, ev.Val*1e6, 'g', -1, 64)
+	} else {
+		dst = appendChromeCommon(dst, ev.Kind.String(), 'i', ts, pid, tid)
+		dst = append(dst, `,"s":"t"`...)
+	}
+	dst = append(dst, `,"args":{`...)
+	comma := false
+	arg := func(k string, v int64) {
+		if comma {
+			dst = append(dst, ',')
+		}
+		comma = true
+		dst = append(dst, '"')
+		dst = append(dst, k...)
+		dst = append(dst, `":`...)
+		dst = strconv.AppendInt(dst, v, 10)
+	}
+	if ev.B >= 0 {
+		arg("peer", int64(ev.B))
+	}
+	if ev.Item >= 0 {
+		arg("item", int64(ev.Item))
+	}
+	if ev.Ver >= 0 {
+		arg("ver", int64(ev.Ver))
+	}
+	if ev.Val != 0 && ev.Kind != KindContactBegin {
+		if comma {
+			dst = append(dst, ',')
+		}
+		comma = true
+		dst = append(dst, `"val":`...)
+		dst = strconv.AppendFloat(dst, ev.Val, 'g', -1, 64)
+	}
+	dst = append(dst, '}', '}')
+	return dst
+}
+
+// writeChromeTraces serializes the given run traces (already in the
+// desired pid order) as one Chrome trace-event JSON document.
+func writeChromeTraces(w io.Writer, traces []*RunTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	first := true
+	for pid, t := range traces {
+		// Name the process after the run so Perfetto's track labels carry
+		// the experiment/preset/scheme identity.
+		buf = buf[:0]
+		if !first {
+			buf = append(buf, ',', '\n')
+		}
+		first = false
+		buf = appendChromeCommon(buf, "process_name", 'M', 0, pid, 0)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = strconv.AppendQuote(buf, t.Label)
+		buf = append(buf, `}}`...)
+		for _, ev := range t.Events() {
+			buf = appendChromeEvent(buf, ev, pid, false)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes this single trace as a Chrome trace-event JSON
+// document (pid 0).
+func (t *RunTrace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return writeChromeTraces(w, nil)
+	}
+	return writeChromeTraces(w, []*RunTrace{t})
+}

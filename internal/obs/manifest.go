@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest records everything needed to reproduce a results file: the
+// exact command and configuration, the seeds, the toolchain and source
+// revision, and the run's resource usage. One is written next to each
+// run's CSVs as manifest.json.
+type Manifest struct {
+	Schema    string `json:"schema"` // "freshcache-manifest/1"
+	Tool      string `json:"tool"`   // "experiments" | "freshsim"
+	CreatedAt string `json:"createdAt"`
+
+	Command []string `json:"command,omitempty"`
+
+	GoVersion   string `json:"goVersion"`
+	GitRevision string `json:"gitRevision,omitempty"`
+	GitModified bool   `json:"gitModified,omitempty"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	Seed   int64          `json:"seed"`
+	Config map[string]any `json:"config,omitempty"`
+
+	Outputs []string `json:"outputs,omitempty"`
+
+	WallClockSeconds float64 `json:"wallClockSeconds"`
+	CPUSeconds       float64 `json:"cpuSeconds,omitempty"`
+	MaxRSSBytes      int64   `json:"maxRSSBytes,omitempty"`
+
+	Metrics     *RegistrySnapshot `json:"metrics,omitempty"`
+	Events      *EventStats       `json:"events,omitempty"`
+	SchemeStats []SchemeRollup    `json:"schemeRollups,omitempty"`
+}
+
+// ManifestSchema is the current manifest schema identifier.
+const ManifestSchema = "freshcache-manifest/1"
+
+// NewManifest returns a manifest pre-filled with build/runtime provenance.
+func NewManifest(tool string) *Manifest {
+	m := &Manifest{
+		Schema:     ManifestSchema,
+		Tool:       tool,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// FinishResources stamps the manifest with elapsed wall time since start
+// and the process's accumulated CPU time and peak RSS (where the platform
+// exposes them).
+func (m *Manifest) FinishResources(start time.Time) {
+	m.WallClockSeconds = time.Since(start).Seconds()
+	cpu, rss := readRusage()
+	m.CPUSeconds = cpu
+	m.MaxRSSBytes = rss
+}
+
+// Write marshals the manifest (indented, sorted keys) to path.
+func (m *Manifest) Write(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"freshcache/internal/metrics"
+)
+
+// Config controls trace collection for an Observer's runs.
+type Config struct {
+	// SampleEvery keeps one event in every SampleEvery emitted (1 = keep
+	// all). Raise it for million-contact runs.
+	SampleEvery int
+	// BufferCap bounds the per-run ring buffer (DefaultBufferCap if 0).
+	BufferCap int
+}
+
+// Observer is the sweep/experiment-level sink: it hands out per-run
+// traces, collects the committed ones, rolls per-scheme result histograms
+// up, and tracks sweep progress. All methods are safe for concurrent use
+// and no-ops on a nil receiver, so `-obs` off means passing nil around.
+//
+// Determinism contract: each run writes only to its own RunTrace (no
+// cross-run interleaving), and flushes order committed traces by label
+// with run order inside each label preserved. Output bytes therefore do
+// not depend on how many sweep workers ran, only on the set of runs.
+type Observer struct {
+	cfg Config
+	// Metrics is the process-wide registry backing the observer's
+	// counters; exported so CLIs can snapshot it into manifests/expvar.
+	Metrics *Registry
+
+	mu     sync.Mutex
+	traces []*RunTrace
+	scheme map[string]*schemeRollup
+
+	cellsQueued *Counter
+	cellsDone   *Counter
+	queueDepth  *Gauge
+}
+
+type schemeRollup struct {
+	runs      int
+	delayHist *metrics.Hist
+	ageHist   *metrics.Hist
+}
+
+// NewObserver returns an observer with the given trace config and a fresh
+// registry.
+func NewObserver(cfg Config) *Observer {
+	if cfg.SampleEvery < 1 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.BufferCap < 1 {
+		cfg.BufferCap = DefaultBufferCap
+	}
+	reg := NewRegistry()
+	return &Observer{
+		cfg:         cfg,
+		Metrics:     reg,
+		scheme:      make(map[string]*schemeRollup),
+		cellsQueued: reg.Counter("sweep/cells_queued"),
+		cellsDone:   reg.Counter("sweep/cells_done"),
+		queueDepth:  reg.Gauge("sweep/queue_depth"),
+	}
+}
+
+// Registry returns the observer's metric registry (nil for a nil
+// observer), so call sites can thread it without their own nil checks.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Run returns a fresh trace for one labelled run. The caller owns it until
+// Commit.
+func (o *Observer) Run(label string) *RunTrace {
+	if o == nil {
+		return nil
+	}
+	return NewRunTrace(label, o.cfg.SampleEvery, o.cfg.BufferCap)
+}
+
+// Commit hands a finished run's trace back to the observer.
+func (o *Observer) Commit(t *RunTrace) {
+	if o == nil || t == nil {
+		return
+	}
+	o.mu.Lock()
+	o.traces = append(o.traces, t)
+	o.mu.Unlock()
+}
+
+// CellQueued notes that n sweep cells were enqueued.
+func (o *Observer) CellQueued(n int) {
+	if o == nil {
+		return
+	}
+	o.cellsQueued.Add(int64(n))
+	o.queueDepth.Set(float64(o.cellsQueued.Value() - o.cellsDone.Value()))
+}
+
+// CellDone notes that one sweep cell finished.
+func (o *Observer) CellDone() {
+	if o == nil {
+		return
+	}
+	o.cellsDone.Inc()
+	o.queueDepth.Set(float64(o.cellsQueued.Value() - o.cellsDone.Value()))
+}
+
+// RecordRun folds one run's aggregated result into the per-scheme
+// roll-ups.
+func (o *Observer) RecordRun(scheme string, r metrics.Result) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ru := o.scheme[scheme]
+	if ru == nil {
+		ru = &schemeRollup{
+			delayHist: metrics.NewHist(metrics.DelayBuckets()),
+			ageHist:   metrics.NewHist(metrics.DelayBuckets()),
+		}
+		o.scheme[scheme] = ru
+	}
+	ru.runs++
+	ru.delayHist.Merge(r.DeliveryDelayHist)
+	ru.ageHist.Merge(r.RefreshAgeHist)
+}
+
+// SchemeRollup is the published per-scheme histogram roll-up.
+type SchemeRollup struct {
+	Scheme            string        `json:"scheme"`
+	Runs              int           `json:"runs"`
+	DeliveryDelayHist *metrics.Hist `json:"deliveryDelayHist,omitempty"`
+	RefreshAgeHist    *metrics.Hist `json:"refreshAgeHist,omitempty"`
+}
+
+// SchemeRollups returns the per-scheme roll-ups in ascending scheme order.
+func (o *Observer) SchemeRollups() []SchemeRollup {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]SchemeRollup, 0, len(o.scheme))
+	for name, ru := range o.scheme {
+		out = append(out, SchemeRollup{
+			Scheme:            name,
+			Runs:              ru.runs,
+			DeliveryDelayHist: ru.delayHist.Clone(),
+			RefreshAgeHist:    ru.ageHist.Clone(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scheme < out[j].Scheme })
+	return out
+}
+
+// sortedTraces returns the committed traces ordered by label (stable, so
+// multiple commits under one label keep commit order — only meaningful
+// when labels are unique, which the expt layer guarantees).
+func (o *Observer) sortedTraces() []*RunTrace {
+	o.mu.Lock()
+	ts := make([]*RunTrace, len(o.traces))
+	copy(ts, o.traces)
+	o.mu.Unlock()
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].Label < ts[j].Label })
+	return ts
+}
+
+// EventStats sums trace volume across committed runs.
+type EventStats struct {
+	Runs     int    `json:"runs"`
+	Seen     uint64 `json:"eventsSeen"`
+	Buffered uint64 `json:"eventsBuffered"`
+	Dropped  uint64 `json:"eventsDropped"`
+}
+
+// Stats reports the committed trace volume.
+func (o *Observer) Stats() EventStats {
+	var s EventStats
+	if o == nil {
+		return s
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, t := range o.traces {
+		s.Runs++
+		s.Seen += t.Seen()
+		s.Buffered += uint64(t.Len())
+		s.Dropped += t.Dropped()
+	}
+	return s
+}
+
+// WriteJSONL flushes every committed trace as JSON Lines, runs in sorted
+// label order, events in emission order within a run.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	for _, t := range o.sortedTraces() {
+		if err := t.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace flushes every committed trace as one Chrome trace-event
+// JSON document (one pid per run, sorted label order).
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if o == nil {
+		return writeChromeTraces(w, nil)
+	}
+	return writeChromeTraces(w, o.sortedTraces())
+}

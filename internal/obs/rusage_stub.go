@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// readRusage is unavailable on this platform; the manifest simply omits
+// CPU time and peak RSS.
+func readRusage() (cpuSeconds float64, maxRSSBytes int64) { return 0, 0 }

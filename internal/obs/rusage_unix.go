@@ -1,0 +1,26 @@
+//go:build unix
+
+package obs
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// readRusage reports the process's accumulated user+system CPU seconds and
+// peak resident set size in bytes.
+func readRusage() (cpuSeconds float64, maxRSSBytes int64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	rss := ru.Maxrss
+	// ru_maxrss is kilobytes on Linux, bytes on Darwin.
+	if runtime.GOOS != "darwin" {
+		rss *= 1024
+	}
+	return sec(ru.Utime) + sec(ru.Stime), rss
+}

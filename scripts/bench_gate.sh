@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# CI benchmark gate: regenerate the benchmark report and fail if the
-# quick-mode E2 sweep's allocation count regressed more than 20% against
-# the committed baseline. Allocations are deterministic and
-# machine-independent, so the gate is exact; timings are not gated.
+# CI benchmark gate: regenerate the benchmark report (observability off)
+# and fail if either
+#   - the quick-mode E2 sweep's allocation count regressed more than 20%,
+#   - the contact-dispatch hot path's allocs/contact regressed more than 2%
+# against the committed baseline. Allocations are deterministic and
+# machine-independent, so both gates are exact; timings are not gated.
 #
 # Usage: scripts/bench_gate.sh [baseline.json] [fresh.json]
 set -eu
@@ -34,4 +36,23 @@ awk -v base="$base_allocs" -v new="$new_allocs" 'BEGIN {
         exit 1
     }
     printf "OK: within 20%% budget (limit %.0f)\n", limit
+}'
+
+# Contact-dispatch hot path: the obs-disabled per-contact allocation count
+# must stay within 2% of the baseline (observability must be ~free when
+# off).
+base_contact=$(field "$baseline" allocsPerContact)
+new_contact=$(field "$fresh" allocsPerContact)
+[ -n "$base_contact" ] && [ -n "$new_contact" ] || {
+    echo "could not read allocsPerContact (baseline='$base_contact' fresh='$new_contact')"; exit 1;
+}
+
+echo "contact dispatch allocs/contact: baseline=$base_contact current=$new_contact"
+awk -v base="$base_contact" -v new="$new_contact" 'BEGIN {
+    limit = base * 1.02
+    if (new > limit) {
+        printf "FAIL: contact-dispatch allocs regressed >2%% (%.4f > %.4f)\n", new, limit
+        exit 1
+    }
+    printf "OK: within 2%% budget (limit %.4f)\n", limit
 }'
