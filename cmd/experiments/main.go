@@ -55,6 +55,11 @@ func run(args []string) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
+		checkpoint = fs.String("checkpoint", "", "per-cell checkpoint journal (JSONL): completed sweep cells are appended and fsynced as they finish, so an interrupted run can be resumed")
+		resume     = fs.Bool("resume", false, "replay completed cells from the -checkpoint journal and execute only the remainder; resumed tables are byte-identical to an uninterrupted run")
+		keepGoing  = fs.Bool("keep-going", false, "finish the whole grid past cell or experiment failures: partial tables get explicit NA holes, the failure roster lands in the manifest, and the exit status is nonzero")
+		retries    = fs.Int("retries", 0, "per-cell retry budget for transient failures (0 = fail on first error)")
+
 		obsDir    = fs.String("obs", "", "directory for observability output: events.jsonl (per-run event trace), trace.json (Chrome trace-event JSON for Perfetto) and manifest.json")
 		obsSample = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
 		obsBuffer = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
@@ -139,6 +144,30 @@ func run(args []string) error {
 	if *obsSample < 1 {
 		return fmt.Errorf("obs-sample must be >= 1, got %d", *obsSample)
 	}
+	if *retries < 0 {
+		return fmt.Errorf("retries must be >= 0, got %d", *retries)
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint (the journal to replay)")
+	}
+
+	// Crash-safety plumbing: the journal checkpoints completed sweep cells
+	// (and replays them under -resume); the ledger accounts every cell's
+	// disposition and collects the permanent-failure roster.
+	ledger := &expt.Ledger{}
+	var journal *expt.Journal
+	if *checkpoint != "" {
+		j, err := expt.OpenJournal(*checkpoint, *resume)
+		if err != nil {
+			return err
+		}
+		journal = j
+		defer journal.Close()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d completed cells)\n",
+				*checkpoint, journal.Len())
+		}
+	}
 
 	// The observer exists when anything consumes it: trace output (-obs) or
 	// the live endpoint (-http). Nil otherwise, so hot paths stay zero-cost.
@@ -173,15 +202,26 @@ func run(args []string) error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			opts := expt.Options{Seed: *seed, Quick: *quick, Parallel: *par, Replicates: *reps,
-				Obs: observer, Timings: *timings}
+				Obs: observer, Timings: *timings,
+				Journal: journal, Ledger: ledger, Retries: *retries, KeepGoing: *keepGoing}
 			results[i] = runOne(e, opts, *charts, *csvDir)
 		}()
 	}
 	wg.Wait()
 	var outputs []string
+	var expErrors []string
 	for i, r := range results {
 		if r.err != nil {
-			return fmt.Errorf("%s: %w", selected[i].ID, r.err)
+			if !*keepGoing {
+				return fmt.Errorf("%s: %w", selected[i].ID, r.err)
+			}
+			// Degradation mode: a failed experiment must not throw away the
+			// others' completed work. Note it, keep printing the rest, and
+			// fail the exit status at the end.
+			fmt.Fprintf(os.Stderr, "experiments: %s failed (continuing, -keep-going): %v\n",
+				selected[i].ID, r.err)
+			expErrors = append(expErrors, fmt.Sprintf("%s: %v", selected[i].ID, r.err))
+			continue
 		}
 		fmt.Print(r.text)
 		outputs = append(outputs, r.files...)
@@ -220,6 +260,8 @@ func run(args []string) error {
 		m.Config = map[string]any{
 			"run": *only, "quick": *quick, "parallel": *par, "replicates": *reps,
 			"timings": *timings, "obsSample": *obsSample, "obsBuffer": *obsBuffer,
+			"checkpoint": *checkpoint, "resume": *resume,
+			"keepGoing": *keepGoing, "retries": *retries,
 		}
 		m.Outputs = outputs
 		if observer != nil {
@@ -228,6 +270,15 @@ func run(args []string) error {
 			st := observer.Stats()
 			m.Events = &st
 			m.SchemeStats = observer.SchemeRollups()
+		}
+		// Crash-safety provenance: the permanent-failure roster and the
+		// checkpoint/resume cell accounting.
+		m.Failures = ledger.Failures()
+		if *checkpoint != "" || len(m.Failures) > 0 {
+			rs := ledger.Summary()
+			rs.Journal = *checkpoint
+			rs.Resumed = *resume
+			m.Resume = &rs
 		}
 		m.FinishResources(start)
 		for _, dir := range manifestDirs(*csvDir, *obsDir) {
@@ -245,7 +296,28 @@ func run(args []string) error {
 	fmt.Printf("(mem: totalAlloc=%.1fMB mallocs=%d heapInuse=%.1fMB peakHeapSys=%.1fMB gc=%d)\n",
 		float64(m.TotalAlloc)/(1<<20), m.Mallocs, float64(m.HeapInuse)/(1<<20),
 		float64(m.HeapSys)/(1<<20), m.NumGC)
+
+	// Degradation mode still fails the invocation: partial tables were
+	// printed and the roster recorded, but the exit status must say the run
+	// was not whole.
+	if failures := ledger.Failures(); len(failures) > 0 || len(expErrors) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "experiments: failed cell %s preset=%s point=%d scheme=%q replicate=%d after %d attempt(s): %s\n",
+				f.Experiment, f.Preset, f.Point, f.Scheme, f.Replicate, f.Attempts, firstLine(f.Error))
+		}
+		return fmt.Errorf("completed with %d failed cell(s) and %d failed experiment(s); partial tables contain NA holes",
+			len(failures), len(expErrors))
+	}
 	return nil
+}
+
+// firstLine trims a multi-line error (panic stacks) for the stderr roster;
+// the full text is in the manifest.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // outcome is one experiment's rendered output block (or its error), plus

@@ -2,12 +2,44 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"freshcache/internal/obs"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns its output
+// with volatile footer lines (timings, memory) stripped — the byte-exact
+// surface the resume tests compare.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "(") { // wall-clock and mem footers
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n"), runErr
+}
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-run", "E1", "-quick"}); err != nil {
@@ -98,6 +130,113 @@ func TestRunWithObservability(t *testing.T) {
 	}
 	if m.Schema != obs.ManifestSchema || m.Tool != "experiments" || m.Metrics == nil || m.Events == nil {
 		t.Fatalf("manifest incomplete: %+v", m)
+	}
+}
+
+// TestRunCheckpointResume is the CLI acceptance test for the tentpole: an
+// interrupted checkpointed run (simulated by truncating the journal to its
+// first half) resumed with -resume prints tables byte-identical to an
+// uninterrupted run.
+func TestRunCheckpointResume(t *testing.T) {
+	clean, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E2", "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	journaled, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E2", "-quick", "-checkpoint", ckpt})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if journaled != clean {
+		t.Fatalf("checkpointed output differs from clean run:\n%s\nvs\n%s", journaled, clean)
+	}
+	b, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal holds %d records, want several", len(lines))
+	}
+	// "Kill" the run halfway: keep only the first half of the journal.
+	if err := os.WriteFile(ckpt, []byte(strings.Join(lines[:len(lines)/2], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E2", "-quick", "-checkpoint", ckpt, "-resume"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != clean {
+		t.Fatalf("resumed output differs from clean run:\n%s\nvs\n%s", resumed, clean)
+	}
+}
+
+// TestRunResumeManifestProvenance: a resumed run's manifest records the
+// journal path and the per-disposition cell counts.
+func TestRunResumeManifestProvenance(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := run([]string{"-run", "E2", "-quick", "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "obs")
+	if err := run([]string{"-run", "E2", "-quick", "-checkpoint", ckpt, "-resume", "-obs", dir}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resume == nil {
+		t.Fatal("manifest missing resume summary")
+	}
+	if m.Resume.Journal != ckpt || !m.Resume.Resumed {
+		t.Fatalf("resume provenance = %+v", m.Resume)
+	}
+	if m.Resume.CellsReplayed == 0 || m.Resume.CellsExecuted != 0 || m.Resume.CellsFailed != 0 {
+		t.Fatalf("fully-journaled resume counts = %+v", m.Resume)
+	}
+	if len(m.Failures) != 0 {
+		t.Fatalf("clean run reported failures: %+v", m.Failures)
+	}
+}
+
+func TestRunCheckpointValidation(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-quick", "-resume"}); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-run", "E1", "-quick", "-retries", "-1"}); err == nil {
+		t.Fatal("negative -retries accepted")
+	}
+}
+
+// TestRunKeepGoingClean: -keep-going on a run with no failures behaves like
+// a normal run and exits cleanly.
+func TestRunKeepGoingClean(t *testing.T) {
+	clean, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E1", "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E1", "-quick", "-keep-going", "-retries", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg != clean {
+		t.Fatalf("keep-going output differs on a clean run:\n%s\nvs\n%s", kg, clean)
 	}
 }
 

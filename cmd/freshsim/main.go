@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -20,8 +21,8 @@ import (
 	"time"
 
 	"freshcache"
+	"freshcache/internal/expt"
 	"freshcache/internal/obs"
-	"freshcache/internal/stats"
 )
 
 func main() {
@@ -59,6 +60,9 @@ func run(args []string) error {
 		compare   = fs.String("compare", "", "comma-separated schemes to run side by side (overrides -scheme)")
 		runs      = fs.Int("runs", 1, "replicate over this many consecutive seeds and report mean ± CI95")
 
+		checkpoint = fs.String("checkpoint", "", "with -runs: journal each completed replicate to this file (JSONL), enabling -resume")
+		resume     = fs.Bool("resume", false, "replay completed replicates from the -checkpoint journal instead of re-running them")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
@@ -72,6 +76,12 @@ func run(args []string) error {
 	start := time.Now()
 	if *obsSample < 1 {
 		return fmt.Errorf("obs-sample must be >= 1, got %d", *obsSample)
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *checkpoint != "" && (*runs <= 1 || *compare != "") {
+		return fmt.Errorf("-checkpoint applies to replicated runs only (-runs > 1, without -compare)")
 	}
 	var observer *obs.Observer // nil when -obs is off
 	if *obsDir != "" {
@@ -148,12 +158,38 @@ func run(args []string) error {
 	}
 	opts = append(opts, baseOpts...)
 
+	ledger := &expt.Ledger{}
 	err := func() error {
 		if *compare != "" {
 			return runComparison(*compare, baseOpts, observer)
 		}
 		if *runs > 1 {
-			return runReplicated(*runs, *seed, *scheme, baseOpts, observer)
+			var journal *expt.Journal
+			if *checkpoint != "" {
+				j, jerr := expt.OpenJournal(*checkpoint, *resume)
+				if jerr != nil {
+					return jerr
+				}
+				defer j.Close()
+				journal = j
+				if *resume {
+					fmt.Fprintf(os.Stderr, "freshsim: resuming from %s (%d journaled replicate(s))\n",
+						*checkpoint, journal.Len())
+				}
+			}
+			traceName := *preset
+			if *traceFile != "" {
+				traceName = "file:" + *traceFile
+			}
+			return runReplicated(replicatedConfig{
+				runs:       *runs,
+				baseSeed:   *seed,
+				scheme:     *scheme,
+				traceName:  traceName,
+				experiment: replicatedExperimentID(fs),
+				journal:    journal,
+				ledger:     ledger,
+			}, baseOpts, observer)
 		}
 
 		rt := observer.Run("freshsim/" + *scheme)
@@ -193,13 +229,14 @@ func run(args []string) error {
 		return err
 	}
 	if observer != nil {
-		return writeObs(*obsDir, observer, start, args, *seed)
+		return writeObs(*obsDir, observer, start, args, *seed, ledger, *checkpoint, *resume)
 	}
 	return nil
 }
 
 // writeObs flushes the observer's trace and a run manifest into dir.
-func writeObs(dir string, observer *obs.Observer, start time.Time, args []string, seed int64) error {
+func writeObs(dir string, observer *obs.Observer, start time.Time, args []string, seed int64,
+	ledger *expt.Ledger, checkpoint string, resumed bool) error {
 	var outputs []string
 	for _, f := range []struct {
 		name  string
@@ -231,43 +268,108 @@ func writeObs(dir string, observer *obs.Observer, start time.Time, args []string
 	st := observer.Stats()
 	m.Events = &st
 	m.SchemeStats = observer.SchemeRollups()
+	m.Failures = ledger.Failures()
+	if checkpoint != "" || len(m.Failures) > 0 {
+		rs := ledger.Summary()
+		rs.Journal = checkpoint
+		rs.Resumed = resumed
+		m.Resume = &rs
+	}
 	m.FinishResources(start)
 	return m.Write(filepath.Join(dir, "manifest.json"))
 }
 
+// replicatedConfig parameterises one replicated (-runs > 1) invocation.
+type replicatedConfig struct {
+	runs       int
+	baseSeed   int64
+	scheme     string
+	traceName  string
+	experiment string
+	journal    *expt.Journal
+	ledger     *expt.Ledger
+}
+
+// replicatedExperimentID digests the simulation-relevant flags into the
+// sweep's experiment ID, so a checkpoint journal written under one
+// configuration can never replay into a run whose flags changed (the
+// journal matches on the sweep fingerprint and per-cell seeds, both of
+// which incorporate the experiment ID). Output and checkpointing flags are
+// excluded: moving the journal or toggling -obs must not invalidate it.
+func replicatedExperimentID(fs *flag.FlagSet) string {
+	skip := map[string]bool{
+		"json": true, "obs": true, "obs-sample": true, "obs-buffer": true,
+		"cpuprofile": true, "memprofile": true,
+		"checkpoint": true, "resume": true, "compare": true,
+	}
+	h := fnv.New64a()
+	fs.VisitAll(func(f *flag.Flag) { // lexical order: deterministic
+		if skip[f.Name] {
+			return
+		}
+		fmt.Fprintf(h, "%s=%s\x1f", f.Name, f.Value.String())
+	})
+	return fmt.Sprintf("freshsim-%016x", h.Sum64())
+}
+
 // runReplicated runs the scheme over `runs` consecutive seeds and reports
-// the mean and 95% confidence half-width of the headline metrics.
-func runReplicated(runs int, baseSeed int64, scheme string, baseOpts []freshcache.Option, observer *obs.Observer) error {
-	var fresh, valid, tx []float64
-	for i := 0; i < runs; i++ {
+// the mean and 95% confidence half-width of the headline metrics. The
+// replicates are routed through the expt sweep runner for its crash-safety
+// machinery: with a checkpoint journal attached every completed replicate
+// is journaled and synced, and -resume replays journaled replicates instead
+// of re-running them — the stdout report is byte-identical to an
+// uninterrupted run.
+func runReplicated(cfg replicatedConfig, baseOpts []freshcache.Option, observer *obs.Observer) error {
+	s := expt.Sweep{
+		Experiment: cfg.experiment,
+		Presets:    []string{cfg.traceName},
+		Points:     1,
+		Schemes:    []string{cfg.scheme},
+		Replicates: cfg.runs,
+		Parallel:   1,
+		BaseSeed:   cfg.baseSeed,
+		Obs:        observer,
+		Journal:    cfg.journal,
+		Ledger:     cfg.ledger,
+	}
+	res, err := s.Run(func(c expt.Cell) ([]float64, error) {
+		// The replicate semantics predate the sweep runner: replicate i
+		// simulates seed base+i, so existing invocations keep their numbers.
+		// (c.Seed still namespaces the journal records for replay checks.)
+		simSeed := cfg.baseSeed + int64(c.Replicate)
 		opts := append([]freshcache.Option{
-			freshcache.WithScheme(freshcache.SchemeName(scheme)),
+			freshcache.WithScheme(freshcache.SchemeName(cfg.scheme)),
 		}, baseOpts...)
 		// Applied last so it overrides the base -seed flag.
-		opts = append(opts, freshcache.WithSeed(baseSeed+int64(i)))
-		rt := observer.Run(fmt.Sprintf("freshsim/%s/seed-%d", scheme, baseSeed+int64(i)))
+		opts = append(opts, freshcache.WithSeed(simSeed))
+		rt := observer.Run(fmt.Sprintf("freshsim/%s/seed-%d", cfg.scheme, simSeed))
 		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
 		sim, err := freshcache.New(opts...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		res, err := sim.Run()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		observer.Commit(rt)
 		observer.RecordRun(res.Scheme, res)
-		fresh = append(fresh, res.FreshnessRatio)
-		valid = append(valid, res.ValidAccessRate)
-		tx = append(tx, res.TxPerVersion)
+		return []float64{res.FreshnessRatio, res.ValidAccessRate, res.TxPerVersion}, nil
+	})
+	if err != nil {
+		return err
 	}
-	report := func(name string, xs []float64) {
-		fmt.Printf("%-20s %.4f ± %.4f (CI95 over %d seeds)\n", name+":", stats.Mean(xs), stats.CI95(xs), runs)
+	if n := res.ReplayedCells(); n > 0 {
+		fmt.Fprintf(os.Stderr, "freshsim: replayed %d of %d replicate(s) from checkpoint\n", n, cfg.runs)
 	}
-	fmt.Printf("%s over seeds %d..%d\n", scheme, baseSeed, baseSeed+int64(runs)-1)
-	report("freshness ratio", fresh)
-	report("valid access rate", valid)
-	report("tx/version", tx)
+	report := func(name string, metric int) {
+		fmt.Printf("%-20s %.4f ± %.4f (CI95 over %d seeds)\n",
+			name+":", res.Mean(0, 0, 0, metric), res.CI95(0, 0, 0, metric), cfg.runs)
+	}
+	fmt.Printf("%s over seeds %d..%d\n", cfg.scheme, cfg.baseSeed, cfg.baseSeed+int64(cfg.runs)-1)
+	report("freshness ratio", 0)
+	report("valid access rate", 1)
+	report("tx/version", 2)
 	return nil
 }
 

@@ -2,14 +2,37 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"freshcache/internal/mobility"
 	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed — the surface the resume tests compare byte for byte.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
 
 func smallTraceFile(t *testing.T) string {
 	t.Helper()
@@ -83,6 +106,91 @@ func TestRunReplicated(t *testing.T) {
 	path := smallTraceFile(t)
 	if err := run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunReplicatedCheckpointResume: a replicated run interrupted after
+// some replicates (simulated by truncating the checkpoint journal) and
+// resumed must print a report byte-identical to an uninterrupted run.
+func TestRunReplicatedCheckpointResume(t *testing.T) {
+	path := smallTraceFile(t)
+	base := []string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "3"}
+	clean, err := captureStdout(t, func() error { return run(base) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	withCkpt := append(append([]string{}, base...), "-checkpoint", ckpt)
+	journaled, err := captureStdout(t, func() error { return run(withCkpt) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if journaled != clean {
+		t.Fatalf("checkpointed output differs from clean run:\n%q\nvs\n%q", journaled, clean)
+	}
+	b, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal holds %d records, want 3", len(lines))
+	}
+	// "Kill" the run after the first replicate.
+	if err := os.WriteFile(ckpt, []byte(lines[0]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := captureStdout(t, func() error {
+		return run(append(append([]string{}, withCkpt...), "-resume"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != clean {
+		t.Fatalf("resumed output differs from clean run:\n%q\nvs\n%q", resumed, clean)
+	}
+}
+
+// TestRunCheckpointConfigChangeReExecutes: resuming with changed
+// simulation flags must not splice the stale journal in.
+func TestRunCheckpointConfigChangeReExecutes(t *testing.T) {
+	path := smallTraceFile(t)
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	base := []string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "2", "-checkpoint", ckpt}
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	// Same journal, different -zipf: a changed experiment ID keeps the old
+	// records from replaying, and the run must still succeed.
+	changed := []string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "2",
+		"-zipf", "0.5", "-checkpoint", ckpt, "-resume"}
+	clean, err := captureStdout(t, func() error {
+		return run([]string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h", "-runs", "2", "-zipf", "0.5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := captureStdout(t, func() error { return run(changed) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != clean {
+		t.Fatalf("changed-config resume output differs:\n%q\nvs\n%q", got, clean)
+	}
+}
+
+func TestRunCheckpointValidation(t *testing.T) {
+	path := smallTraceFile(t)
+	cases := [][]string{
+		{"-trace", path, "-runs", "3", "-resume"}, // -resume without -checkpoint
+		{"-trace", path, "-checkpoint", filepath.Join(t.TempDir(), "c.jsonl")},              // single run
+		{"-trace", path, "-compare", "direct", "-checkpoint", filepath.Join(t.TempDir(), "c.jsonl")}, // compare mode
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

@@ -310,6 +310,12 @@ type Engine struct {
 	obsTrace    *obs.RunTrace
 	cContacts   *obs.Counter
 	cDeliveries *obs.Counter
+	cQueryDrops *obs.Counter
+
+	// queryDrops counts workload queries discarded because their item is
+	// missing from the catalog; surfaced as Result.QueriesDropped so
+	// malformed workloads cannot lose queries without a signal.
+	queryDrops int
 
 	initErr error // deferred error from the epoch event
 }
@@ -330,6 +336,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		obsTrace:    cfg.Obs,
 		cContacts:   cfg.Metrics.Counter("engine/contacts"),
 		cDeliveries: cfg.Metrics.Counter("engine/deliveries"),
+		cQueryDrops: cfg.Metrics.Counter("engine/query_drops"),
 	}
 	e.epoch = cfg.Trace.Duration * cfg.WarmupFraction
 	e.horizon = cfg.Trace.Duration
@@ -471,6 +478,7 @@ func (e *Engine) Run() (metrics.Result, error) {
 		res.MaxNodeTxShare = float64(maxLoad) / float64(refreshTx)
 		res.LoadGini = stats.Gini(loads)
 	}
+	res.QueriesDropped = e.queryDrops
 	res.Scheme = e.cfg.Scheme.Name()
 	res.Trace = e.cfg.Trace.Name
 	res.Seed = e.cfg.Seed
@@ -704,6 +712,11 @@ func (e *Engine) freshnessRatio(now float64) float64 {
 func (e *Engine) issueQuery(q *cache.Query, now float64) {
 	it, err := e.cfg.Catalog.Item(q.Item)
 	if err != nil {
+		// A query for an item the catalog does not know cannot be served;
+		// count the drop instead of swallowing it so malformed workloads
+		// are visible in the result and the metric registry.
+		e.queryDrops++
+		e.cQueryDrops.Inc()
 		return
 	}
 	e.book.Issue(q)

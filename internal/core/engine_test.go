@@ -6,6 +6,7 @@ import (
 	"freshcache/internal/cache"
 	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -57,6 +58,40 @@ func runScheme(t *testing.T, s Scheme, seed int64) metrics.Result {
 		t.Fatal(err)
 	}
 	return res
+}
+
+// TestQueryDropCounted: a workload query for an item the catalog does not
+// know must be counted as dropped — in the engine's result field and the
+// metric registry — instead of vanishing silently.
+func TestQueryDropCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, err := NewEngine(Config{
+		Trace:           testScenarioTrace(t, 1),
+		Catalog:         testScenarioCatalog(t, 4*mobility.Hour),
+		Scheme:          NewDirect(),
+		NumCachingNodes: 6,
+		Metrics:         reg,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.issueQuery(&cache.Query{Item: 99, Requester: 5, IssuedAt: 0}, 0)
+	eng.issueQuery(&cache.Query{Item: 999, Requester: 6, IssuedAt: 0}, 0)
+	if eng.queryDrops != 2 {
+		t.Fatalf("queryDrops = %d, want 2", eng.queryDrops)
+	}
+	if got := reg.Counter("engine/query_drops").Value(); got != 2 {
+		t.Fatalf("engine/query_drops = %d, want 2", got)
+	}
+	if n := len(eng.book.All()); n != 0 {
+		t.Fatalf("dropped queries were issued to the book: %d", n)
+	}
+	// A known item is issued, not dropped.
+	eng.issueQuery(&cache.Query{Item: 0, Requester: 5, IssuedAt: 0}, 0)
+	if eng.queryDrops != 2 || len(eng.book.All()) != 1 {
+		t.Fatalf("valid query mishandled: drops=%d issued=%d", eng.queryDrops, len(eng.book.All()))
+	}
 }
 
 func TestSchemeOrderingOnFreshness(t *testing.T) {

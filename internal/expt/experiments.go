@@ -41,6 +41,18 @@ type Options struct {
 	// (E10). Off by default so the quick-suite output is byte-identical
 	// across machines and worker counts with no carve-outs.
 	Timings bool
+	// Journal, when non-nil, is the shared per-cell checkpoint journal:
+	// sweeps append completed cells and replay matching ones on resume.
+	Journal *Journal
+	// Ledger, when non-nil, accounts cell dispositions and collects the
+	// permanent-failure roster across the run (manifest provenance and
+	// the CLI's exit status are built from it).
+	Ledger *Ledger
+	// Retries is the per-cell retry budget for transient failures.
+	Retries int
+	// KeepGoing runs sweeps in degradation mode: cell failures no longer
+	// abort the grid; failed cells become explicit NA table holes.
+	KeepGoing bool
 }
 
 // record folds one run's result into the optional stats accumulator.
@@ -62,6 +74,10 @@ func (o Options) sweep(id string, presets []string, points int, schemes []string
 		Parallel:   o.Parallel,
 		BaseSeed:   o.Seed,
 		Obs:        o.Obs,
+		Journal:    o.Journal,
+		Ledger:     o.Ledger,
+		Retries:    o.Retries,
+		KeepGoing:  o.KeepGoing,
 	}
 }
 
@@ -114,9 +130,11 @@ func presets(opts Options) []string {
 
 // genTrace returns one preset trace for the experiment's seed, generated
 // once per process via the shared cache (traces are immutable, so sweeps
-// and successive experiments share them freely).
+// and successive experiments share them freely). The trace seed is the
+// namespaced replicate-0 derivation, so single-run experiments observe the
+// same trace as replicate 0 of every sweep.
 func genTrace(preset string, seed int64) (*trace.Trace, error) {
-	return sharedTraces.Get(preset, seed)
+	return sharedTraces.Get(preset, TraceSeedFor(seed, 0))
 }
 
 // refreshSweep returns the refresh-interval sweep appropriate for a

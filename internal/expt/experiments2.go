@@ -39,12 +39,15 @@ func extSweep(opts Options, id string, points int, schemes []string) Sweep {
 	return sw
 }
 
-// meanCI runs f over `n` consecutive seeds and returns the sample mean and
-// 95% confidence half-width of the extracted metric.
-func meanCI(n int, base int64, f func(seed int64) (float64, error)) (float64, float64, error) {
+// meanCI runs f over `n` replicates — rep is the replicate index, seed the
+// consecutive protocol seed — and returns the sample mean and 95%
+// confidence half-width of the extracted metric. Trace generation inside f
+// should key on TraceSeedFor(base, rep), not the raw seed, so replicate
+// trace streams do not alias runs launched with nearby base seeds.
+func meanCI(n int, base int64, f func(rep int, seed int64) (float64, error)) (float64, float64, error) {
 	xs := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
-		v, err := f(base + int64(i))
+		v, err := f(i, base+int64(i))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -280,8 +283,8 @@ func runE14(opts Options) ([]*Table, error) {
 	for _, days := range intervals {
 		days := days
 		var txSum float64
-		mean, ci, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-			tr, err := sharedTraces.GetFunc("drift-community", seed,
+		mean, ci, err := meanCI(n, opts.Seed, func(rep int, seed int64) (float64, error) {
+			tr, err := sharedTraces.GetFunc("drift-community", TraceSeedFor(opts.Seed, rep),
 				mobility.DriftingCommunity(40, 8*mobility.Day).Generate)
 			if err != nil {
 				return 0, err
@@ -363,8 +366,8 @@ func runE16(opts Options) ([]*Table, error) {
 			capacity := capacity
 			policy := policy
 			var validSum, answeredSum float64
-			mean, _, err := meanCI(n, opts.Seed, func(seed int64) (float64, error) {
-				tr, err := extTrace(seed)
+			mean, _, err := meanCI(n, opts.Seed, func(rep int, seed int64) (float64, error) {
+				tr, err := extTrace(TraceSeedFor(opts.Seed, rep))
 				if err != nil {
 					return 0, err
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -39,11 +40,23 @@ type Cell struct {
 	// worker runs the cell or in what order.
 	Seed int64
 	// TraceSeed seeds trace generation. It depends only on the base seed
-	// and the replicate, so all cells of one replicate share a trace:
-	// scheme and sweep-point comparisons are paired (common trace), and the
-	// shared cache generates each trace once per process instead of per
-	// cell.
+	// and the replicate (via TraceSeedFor), so all cells of one replicate
+	// share a trace: scheme and sweep-point comparisons are paired (common
+	// trace), and the shared cache generates each trace once per process
+	// instead of per cell.
 	TraceSeed int64
+}
+
+// TraceSeedFor derives the trace-generation seed for one replicate as a
+// namespaced child of the base seed. The naive base+replicate scheme it
+// replaces aliased RNG streams across nearby base seeds (base S with
+// replicate 1 collided with base S+1, replicate 0); hashing through
+// DeriveSeed keeps the replicate-paired-trace property while making
+// distinct (base, replicate) pairs independent. Changing this derivation
+// changed every generated trace, so all experiment tables shifted relative
+// to runs recorded before the fix.
+func TraceSeedFor(base int64, rep int) int64 {
+	return stats.DeriveSeed(base, "trace", strconv.Itoa(rep))
 }
 
 // CellFunc evaluates one cell and returns its metric vector. Every cell of
@@ -70,6 +83,25 @@ type Sweep struct {
 	// Obs, when non-nil, tracks sweep progress (cells queued/done, queue
 	// depth) in its registry. Cell-level tracing is the cell body's job.
 	Obs *obs.Observer
+
+	// Journal, when non-nil, checkpoints each completed cell's metric
+	// vector (synced record by record) and replays matching completed
+	// cells instead of re-executing them, making interrupted runs
+	// resumable with byte-identical output.
+	Journal *Journal
+	// Ledger, when non-nil, accounts every cell's disposition (executed,
+	// replayed, failed, skipped) and collects the failure roster across
+	// the run's sweeps.
+	Ledger *Ledger
+	// Retries is the bounded per-cell retry budget: a failing cell
+	// (error or recovered panic) is re-attempted up to Retries more
+	// times before it counts as a permanent failure.
+	Retries int
+	// KeepGoing switches the runner from fail-fast to degradation mode:
+	// permanent cell failures no longer abort the sweep — the rest of the
+	// grid still runs, failed cells leave explicit NA holes in the
+	// assembled tables, and the failures land in the Ledger's roster.
+	KeepGoing bool
 }
 
 func (s Sweep) schemes() []string {
@@ -118,7 +150,7 @@ func (s Sweep) cells() []Cell {
 						Replicate:  rep,
 						Seed: stats.DeriveSeed(s.BaseSeed, s.Experiment, preset,
 							strconv.Itoa(pt), scheme, strconv.Itoa(rep)),
-						TraceSeed: s.BaseSeed + int64(rep),
+						TraceSeed: TraceSeedFor(s.BaseSeed, rep),
 					})
 				}
 			}
@@ -127,9 +159,80 @@ func (s Sweep) cells() []Cell {
 	return out
 }
 
+// PanicError is the typed per-cell error a recovered CellFunc panic turns
+// into: the process survives, the sweep reports the cell as failed, and
+// the panic value plus its stack ride along for diagnosis.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// cellStatus is one grid cell's terminal disposition.
+type cellStatus uint8
+
+const (
+	cellExecuted cellStatus = iota // ran to completion in this process
+	cellReplayed                   // result replayed from the checkpoint journal
+	cellFailed                     // failed permanently (after retries)
+	cellSkipped                    // drained without running after a fail-fast failure
+)
+
+// callCell invokes fn for one cell with panics recovered into a
+// *PanicError, so a crashing cell body can never take down the process.
+func callCell(fn CellFunc, c Cell) (v []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(c)
+}
+
+// runCell evaluates one cell under the sweep's retry policy and returns
+// the result, the final error (nil on success) and the attempts made.
+func (s Sweep) runCell(fn CellFunc, c Cell) ([]float64, error, int) {
+	attempts := 1 + s.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var (
+		v   []float64
+		err error
+	)
+	for a := 1; a <= attempts; a++ {
+		v, err = callCell(fn, c)
+		if err == nil {
+			return v, nil, a
+		}
+	}
+	return nil, err, attempts
+}
+
+// cellErr wraps a cell failure with its grid coordinates.
+func cellErr(c Cell, err error) error {
+	return fmt.Errorf("expt: %s preset=%s point=%d scheme=%q replicate=%d: %w",
+		c.Experiment, c.Preset, c.Point, c.Scheme, c.Replicate, err)
+}
+
 // Run evaluates every cell of the grid on the worker pool and returns the
-// assembled result. The first failing cell (in grid order) determines the
-// returned error; remaining cells are abandoned.
+// assembled result.
+//
+// Failure policy: a cell that panics is recovered into a typed error and a
+// failing cell is retried up to Retries times. By default the sweep is
+// fail-fast — the first permanently failing cell (in grid order)
+// determines the returned error and remaining cells are drained as
+// skipped. With KeepGoing the whole grid still runs: failed cells leave NA
+// holes in the result, the failures are recorded in the Ledger, and the
+// returned error is nil (degradation is the caller's policy decision).
+//
+// Checkpointing: with a Journal attached, cells whose completed results
+// are already journaled (matching identity, seeds and sweep fingerprint)
+// are replayed without executing, and each newly completed cell is
+// appended and synced before the sweep moves on.
 func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 	if s.Points <= 0 {
 		return nil, fmt.Errorf("expt: sweep %s has no points", s.Experiment)
@@ -138,47 +241,90 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 		return nil, fmt.Errorf("expt: sweep %s has no presets", s.Experiment)
 	}
 	cells := s.cells()
+	fp := s.Fingerprint()
 	runs := make([][]float64, len(cells))
 	errs := make([]error, len(cells))
+	status := make([]cellStatus, len(cells))
 	s.Obs.CellQueued(len(cells))
 
-	var failed atomic.Bool
+	// Replay journaled cells first: they cost nothing, and the worker pool
+	// then only sees the remainder.
+	var pending []int
+	replayed := 0
+	for i, c := range cells {
+		if v, ok := s.Journal.Lookup(c, fp); ok {
+			runs[i] = v
+			status[i] = cellReplayed
+			replayed++
+			s.Obs.CellReplayed()
+			continue
+		}
+		pending = append(pending, i)
+	}
+	s.Ledger.addReplayed(replayed)
+
+	var failed atomic.Bool // a cell failed permanently (fail-fast drain signal)
+	var (
+		jmu        sync.Mutex
+		journalErr error // first checkpoint-append failure, if any
+	)
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	for w := s.workers(len(cells)); w > 0; w-- {
+	for w := s.workers(len(pending)); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if failed.Load() {
-					s.Obs.CellDone()
+				if !s.KeepGoing && failed.Load() {
+					status[i] = cellSkipped
+					s.Ledger.addSkipped()
+					s.Obs.CellSkipped()
 					continue // drain: a cell already failed
 				}
-				v, err := fn(cells[i])
-				runs[i], errs[i] = v, err
+				v, err, attempts := s.runCell(fn, cells[i])
 				if err != nil {
+					errs[i] = err
+					status[i] = cellFailed
 					failed.Store(true)
+					s.Ledger.addFailure(cells[i], err, attempts)
+					s.Obs.CellFailed()
+					continue
+				}
+				runs[i] = v
+				status[i] = cellExecuted
+				s.Ledger.addExecuted()
+				if jerr := s.Journal.Record(cells[i], fp, v); jerr != nil {
+					// A broken checkpoint must not pass silently: the run
+					// finishes, but Run reports the journal failure.
+					jmu.Lock()
+					if journalErr == nil {
+						journalErr = jerr
+					}
+					jmu.Unlock()
 				}
 				s.Obs.CellDone()
 			}
 		}()
 	}
-	for i := range cells {
+	for _, i := range pending {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			c := cells[i]
-			return nil, fmt.Errorf("expt: %s preset=%s point=%d scheme=%q replicate=%d: %w",
-				c.Experiment, c.Preset, c.Point, c.Scheme, c.Replicate, err)
+	if !s.KeepGoing {
+		for i, err := range errs {
+			if err != nil {
+				return nil, cellErr(cells[i], err)
+			}
 		}
 	}
-	width := -1
+	width := 0
 	for i, v := range runs {
-		if width == -1 {
+		if v == nil {
+			continue // failed or skipped cell: NA hole
+		}
+		if width == 0 {
 			width = len(v)
 		}
 		if len(v) != width {
@@ -187,16 +333,25 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 				c.Experiment, c.Preset, c.Point, c.Scheme, len(v), width)
 		}
 	}
-	return &SweepResult{sweep: s, reps: s.replicates(), width: width, runs: runs}, nil
+	if journalErr != nil {
+		return nil, journalErr
+	}
+	res := &SweepResult{sweep: s, reps: s.replicates(), width: width, runs: runs, status: status, cells: cells}
+	return res, nil
 }
 
 // SweepResult holds every cell's metric vectors, addressable by grid
-// coordinates (preset index, point, scheme index, metric index).
+// coordinates (preset index, point, scheme index, metric index). Under
+// KeepGoing, failed or skipped cells hold no vector: aggregates are taken
+// over the surviving replicates, and a cell with none renders as an
+// explicit "NA" hole.
 type SweepResult struct {
-	sweep Sweep
-	reps  int
-	width int
-	runs  [][]float64 // grid order, replicate innermost
+	sweep  Sweep
+	reps   int
+	width  int
+	runs   [][]float64 // grid order, replicate innermost; nil = failed/skipped
+	status []cellStatus
+	cells  []Cell
 }
 
 // Replicates returns the number of runs per cell.
@@ -215,20 +370,30 @@ func (r *SweepResult) base(preset, point, scheme int) int {
 	return ((preset*r.sweep.Points+point)*nSchemes + scheme) * r.reps
 }
 
-// metricRuns collects the replicate values of one metric in one cell.
+// metricRuns collects the replicate values of one metric in one cell,
+// skipping replicates lost to failures (keep-going NA holes); the result
+// may therefore be shorter than the replicate count, or empty.
 func (r *SweepResult) metricRuns(preset, point, scheme, metric int) []float64 {
+	if r.width == 0 {
+		// Every cell of the sweep failed; any metric index is a hole.
+		r.base(preset, point, scheme) // still bounds-check the coordinates
+		return nil
+	}
 	if metric < 0 || metric >= r.width {
 		panic(fmt.Sprintf("expt: metric %d out of range (%d metrics)", metric, r.width))
 	}
 	base := r.base(preset, point, scheme)
-	out := make([]float64, r.reps)
+	out := make([]float64, 0, r.reps)
 	for rep := 0; rep < r.reps; rep++ {
-		out[rep] = r.runs[base+rep][metric]
+		if v := r.runs[base+rep]; v != nil {
+			out = append(out, v[metric])
+		}
 	}
 	return out
 }
 
-// Mean returns the replicate mean of one cell metric.
+// Mean returns the replicate mean of one cell metric (NaN when every
+// replicate of the cell failed; tables render that as "NA").
 func (r *SweepResult) Mean(preset, point, scheme, metric int) float64 {
 	return stats.Mean(r.metricRuns(preset, point, scheme, metric))
 }
@@ -256,14 +421,43 @@ func (r *SweepResult) CI95(preset, point, scheme, metric int) float64 {
 }
 
 // Value returns the cell metric as a table cell: the plain value for a
-// single replicate, "mean±stderr" otherwise.
+// single replicate, "mean±stderr" otherwise, and the explicit "NA" hole
+// when every replicate of the cell failed.
 func (r *SweepResult) Value(preset, point, scheme, metric int) any {
+	xs := r.metricRuns(preset, point, scheme, metric)
+	if len(xs) == 0 {
+		return "NA"
+	}
 	if r.reps == 1 {
 		return r.Mean(preset, point, scheme, metric)
 	}
 	return fmt.Sprintf("%s±%s",
 		CellValue(r.Mean(preset, point, scheme, metric)),
 		CellValue(r.Stderr(preset, point, scheme, metric)))
+}
+
+// FailedCells returns the grid cells that failed permanently, in grid
+// order (empty for a fully successful sweep).
+func (r *SweepResult) FailedCells() []Cell {
+	var out []Cell
+	for i, st := range r.status {
+		if st == cellFailed {
+			out = append(out, r.cells[i])
+		}
+	}
+	return out
+}
+
+// ReplayedCells reports how many cells were replayed from the checkpoint
+// journal instead of executing.
+func (r *SweepResult) ReplayedCells() int {
+	n := 0
+	for _, st := range r.status {
+		if st == cellReplayed {
+			n++
+		}
+	}
+	return n
 }
 
 // TraceCache memoizes generated traces by (name, seed) so a sweep's cells

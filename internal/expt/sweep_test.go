@@ -56,11 +56,20 @@ func TestSweepGridOrderDeterministic(t *testing.T) {
 		}
 		seen[cells[i].Seed] = true
 	}
-	// Trace seed depends only on the replicate.
+	// Trace seed depends only on the base seed and replicate, via the
+	// namespaced derivation (not the old aliasing base+replicate sum).
 	for _, c := range cells {
-		if c.TraceSeed != s.BaseSeed+int64(c.Replicate) {
+		if c.TraceSeed != TraceSeedFor(s.BaseSeed, c.Replicate) {
 			t.Fatalf("trace seed %d for replicate %d", c.TraceSeed, c.Replicate)
 		}
+		if c.TraceSeed == s.BaseSeed+int64(c.Replicate) {
+			t.Fatalf("trace seed for replicate %d still uses the aliasing base+rep formula", c.Replicate)
+		}
+	}
+	// The aliasing the fix removes: base S replicate 1 must no longer share
+	// a trace stream with base S+1 replicate 0.
+	if TraceSeedFor(7, 1) == TraceSeedFor(8, 0) {
+		t.Fatal("TraceSeedFor still aliases (base, rep) pairs across base seeds")
 	}
 }
 

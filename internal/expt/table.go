@@ -6,6 +6,7 @@ package expt
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -29,12 +30,20 @@ func (t *Table) AddRow(cells ...any) {
 }
 
 // CellValue renders one value for table output: floats with 4 significant
-// digits, everything else via fmt.
+// digits, everything else via fmt. NaN — the aggregate of a sweep cell
+// whose every replicate failed under -keep-going — renders as the explicit
+// "NA" hole, so partial tables are unambiguous.
 func CellValue(v any) string {
 	switch x := v.(type) {
 	case float64:
+		if math.IsNaN(x) {
+			return "NA"
+		}
 		return strconv.FormatFloat(x, 'g', 4, 64)
 	case float32:
+		if math.IsNaN(float64(x)) {
+			return "NA"
+		}
 		return strconv.FormatFloat(float64(x), 'g', 4, 64)
 	case string:
 		return x

@@ -90,7 +90,14 @@ type Result struct {
 	FreshnessRatio float64 `json:"freshnessRatio"`
 
 	// Query outcomes.
-	Queries      int     `json:"queries"`
+	//
+	// QueriesDropped counts workload queries the engine had to discard
+	// because they referenced an item missing from the catalog (a
+	// malformed external workload). Nonzero values mean the query-derived
+	// rates below are computed over fewer queries than the workload asked
+	// for — dropped queries used to vanish silently.
+	QueriesDropped int     `json:"queriesDropped,omitempty"`
+	Queries        int     `json:"queries"`
 	Answered     int     `json:"answered"`
 	AnsweredOK   float64 `json:"answeredRatio"`
 	FreshAnswers float64 `json:"freshAnswerRatio"` // fresh / answered

@@ -38,6 +38,38 @@ type Manifest struct {
 	Metrics     *RegistrySnapshot `json:"metrics,omitempty"`
 	Events      *EventStats       `json:"events,omitempty"`
 	SchemeStats []SchemeRollup    `json:"schemeRollups,omitempty"`
+
+	// Failures is the roster of sweep cells that failed permanently (after
+	// retries) during the run — populated by degradation-tolerant runs
+	// (-keep-going) so partial tables are auditable.
+	Failures []CellFailure `json:"cellFailures,omitempty"`
+	// Resume records checkpoint/resume provenance: which journal the run
+	// wrote (or replayed), and how many cells were replayed vs executed.
+	Resume *ResumeSummary `json:"resume,omitempty"`
+}
+
+// CellFailure identifies one sweep cell that failed permanently, by its
+// grid coordinates, with the final error and the number of attempts made.
+type CellFailure struct {
+	Experiment string `json:"experiment"`
+	Preset     string `json:"preset"`
+	Point      int    `json:"point"`
+	Scheme     string `json:"scheme"`
+	Replicate  int    `json:"replicate"`
+	Error      string `json:"error"`
+	Attempts   int    `json:"attempts"`
+}
+
+// ResumeSummary records a run's checkpoint/resume provenance: the journal
+// path and the per-disposition cell counts. Replayed + executed + failed +
+// skipped covers every grid cell of the run's sweeps.
+type ResumeSummary struct {
+	Journal       string `json:"journal,omitempty"`
+	Resumed       bool   `json:"resumed,omitempty"`
+	CellsReplayed int    `json:"cellsReplayed"`
+	CellsExecuted int    `json:"cellsExecuted"`
+	CellsFailed   int    `json:"cellsFailed"`
+	CellsSkipped  int    `json:"cellsSkipped"`
 }
 
 // ManifestSchema is the current manifest schema identifier.

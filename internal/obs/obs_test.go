@@ -52,6 +52,9 @@ func TestNilSafety(t *testing.T) {
 	o.Commit(nil)
 	o.CellQueued(3)
 	o.CellDone()
+	o.CellFailed()
+	o.CellSkipped()
+	o.CellReplayed()
 	o.RecordRun("s", metrics.Result{})
 	if err := o.WriteJSONL(&buf); err != nil {
 		t.Fatalf("nil observer JSONL: %v", err)
@@ -267,6 +270,36 @@ func TestObserverConcurrent(t *testing.T) {
 	}
 	if reg.Gauge("sweep/queue_depth").Value() != 0 {
 		t.Fatalf("queue depth = %v", reg.Gauge("sweep/queue_depth").Value())
+	}
+}
+
+// TestObserverCellDispositions: every cell disposition lands in its own
+// counter and all four drain the queue-depth gauge — a skipped or failed
+// cell is not "done", but it is no longer queued either.
+func TestObserverCellDispositions(t *testing.T) {
+	o := NewObserver(Config{})
+	o.CellQueued(10)
+	for i := 0; i < 3; i++ {
+		o.CellDone()
+	}
+	for i := 0; i < 2; i++ {
+		o.CellReplayed()
+	}
+	o.CellFailed()
+	o.CellSkipped()
+	reg := o.Registry()
+	for name, want := range map[string]int64{
+		"sweep/cells_done":     3,
+		"sweep/cells_replayed": 2,
+		"sweep/cells_failed":   1,
+		"sweep/cells_skipped":  1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("sweep/queue_depth").Value(); got != 3 {
+		t.Fatalf("queue depth = %v, want 3 (10 queued − 7 settled)", got)
 	}
 }
 

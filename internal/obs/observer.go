@@ -36,9 +36,12 @@ type Observer struct {
 	traces []*RunTrace
 	scheme map[string]*schemeRollup
 
-	cellsQueued *Counter
-	cellsDone   *Counter
-	queueDepth  *Gauge
+	cellsQueued   *Counter
+	cellsDone     *Counter
+	cellsFailed   *Counter
+	cellsSkipped  *Counter
+	cellsReplayed *Counter
+	queueDepth    *Gauge
 }
 
 type schemeRollup struct {
@@ -58,12 +61,15 @@ func NewObserver(cfg Config) *Observer {
 	}
 	reg := NewRegistry()
 	return &Observer{
-		cfg:         cfg,
-		Metrics:     reg,
-		scheme:      make(map[string]*schemeRollup),
-		cellsQueued: reg.Counter("sweep/cells_queued"),
-		cellsDone:   reg.Counter("sweep/cells_done"),
-		queueDepth:  reg.Gauge("sweep/queue_depth"),
+		cfg:           cfg,
+		Metrics:       reg,
+		scheme:        make(map[string]*schemeRollup),
+		cellsQueued:   reg.Counter("sweep/cells_queued"),
+		cellsDone:     reg.Counter("sweep/cells_done"),
+		cellsFailed:   reg.Counter("sweep/cells_failed"),
+		cellsSkipped:  reg.Counter("sweep/cells_skipped"),
+		cellsReplayed: reg.Counter("sweep/cells_replayed"),
+		queueDepth:    reg.Gauge("sweep/queue_depth"),
 	}
 }
 
@@ -101,16 +107,56 @@ func (o *Observer) CellQueued(n int) {
 		return
 	}
 	o.cellsQueued.Add(int64(n))
-	o.queueDepth.Set(float64(o.cellsQueued.Value() - o.cellsDone.Value()))
+	o.updateQueueDepth()
 }
 
-// CellDone notes that one sweep cell finished.
+// CellDone notes that one sweep cell ran to completion. Cells that failed,
+// were drained after a failure, or were replayed from a checkpoint journal
+// are reported via CellFailed/CellSkipped/CellReplayed instead, so the
+// counters never overcount actual work.
 func (o *Observer) CellDone() {
 	if o == nil {
 		return
 	}
 	o.cellsDone.Inc()
-	o.queueDepth.Set(float64(o.cellsQueued.Value() - o.cellsDone.Value()))
+	o.updateQueueDepth()
+}
+
+// CellFailed notes that one sweep cell failed permanently (after retries).
+func (o *Observer) CellFailed() {
+	if o == nil {
+		return
+	}
+	o.cellsFailed.Inc()
+	o.updateQueueDepth()
+}
+
+// CellSkipped notes that one sweep cell was drained without running
+// because an earlier cell already failed the sweep.
+func (o *Observer) CellSkipped() {
+	if o == nil {
+		return
+	}
+	o.cellsSkipped.Inc()
+	o.updateQueueDepth()
+}
+
+// CellReplayed notes that one sweep cell's result was replayed from a
+// checkpoint journal instead of being executed.
+func (o *Observer) CellReplayed() {
+	if o == nil {
+		return
+	}
+	o.cellsReplayed.Inc()
+	o.updateQueueDepth()
+}
+
+// updateQueueDepth recomputes the queue-depth gauge as queued minus every
+// terminal disposition (done, failed, skipped, replayed).
+func (o *Observer) updateQueueDepth() {
+	settled := o.cellsDone.Value() + o.cellsFailed.Value() +
+		o.cellsSkipped.Value() + o.cellsReplayed.Value()
+	o.queueDepth.Set(float64(o.cellsQueued.Value() - settled))
 }
 
 // RecordRun folds one run's aggregated result into the per-scheme
