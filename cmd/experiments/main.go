@@ -60,11 +60,13 @@ func run(args []string) error {
 		keepGoing  = fs.Bool("keep-going", false, "finish the whole grid past cell or experiment failures: partial tables get explicit NA holes, the failure roster lands in the manifest, and the exit status is nonzero")
 		retries    = fs.Int("retries", 0, "per-cell retry budget for transient failures (0 = fail on first error)")
 
-		obsDir    = fs.String("obs", "", "directory for observability output: events.jsonl (per-run event trace), trace.json (Chrome trace-event JSON for Perfetto) and manifest.json")
-		obsSample = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
-		obsBuffer = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
-		timings   = fs.Bool("timings", false, "include machine-dependent wall-clock columns in tables that have them (E10)")
-		httpAddr  = fs.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address for the duration of the run")
+		obsDir       = fs.String("obs", "", "directory for observability output: events.jsonl (per-run event trace), trace.json (Chrome trace-event JSON for Perfetto), metrics.om (OpenMetrics registry snapshot) and manifest.json")
+		obsSample    = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
+		obsBuffer    = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
+		lineage      = fs.Bool("lineage", false, "collect causal refresh-lineage spans (generation → duty → handoff → delivery trees) per run and write lineage.jsonl to the -obs directory (requires -obs)")
+		timelineTick = fs.Float64("timeline-tick", 0, "simulated-time telemetry sampling period in seconds: snapshot freshness ratio, cumulative counts and per-node/item copy age every tick into timeline.csv in the -obs directory (0 = off, negative = auto tick of measurement-phase/240; requires -obs)")
+		timings      = fs.Bool("timings", false, "include machine-dependent wall-clock columns in tables that have them (E10)")
+		httpAddr     = fs.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +152,9 @@ func run(args []string) error {
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint (the journal to replay)")
 	}
+	if (*lineage || *timelineTick != 0) && *obsDir == "" {
+		return fmt.Errorf("-lineage and -timeline-tick require -obs (the output directory)")
+	}
 
 	// Crash-safety plumbing: the journal checkpoints completed sweep cells
 	// (and replays them under -resume); the ledger accounts every cell's
@@ -178,7 +183,8 @@ func run(args []string) error {
 				return err
 			}
 		}
-		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer})
+		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer,
+			Lineage: *lineage, TimelineTick: *timelineTick})
 	}
 	if *httpAddr != "" {
 		if err := serveDebug(*httpAddr, observer); err != nil {
@@ -234,7 +240,16 @@ func run(args []string) error {
 		}{
 			{"events.jsonl", func(f *os.File) error { return observer.WriteJSONL(f) }},
 			{"trace.json", func(f *os.File) error { return observer.WriteChromeTrace(f) }},
+			{"metrics.om", func(f *os.File) error { return obs.WriteOpenMetrics(f, observer.Metrics.Snapshot()) }},
+			{"lineage.jsonl", func(f *os.File) error { return observer.WriteLineageJSONL(f) }},
+			{"timeline.csv", func(f *os.File) error { return observer.WriteTimelineCSV(f) }},
 		} {
+			if f.name == "lineage.jsonl" && !*lineage {
+				continue
+			}
+			if f.name == "timeline.csv" && *timelineTick == 0 {
+				continue
+			}
 			path := filepath.Join(*obsDir, f.name)
 			out, err := os.Create(path)
 			if err != nil {
@@ -260,6 +275,7 @@ func run(args []string) error {
 		m.Config = map[string]any{
 			"run": *only, "quick": *quick, "parallel": *par, "replicates": *reps,
 			"timings": *timings, "obsSample": *obsSample, "obsBuffer": *obsBuffer,
+			"lineage": *lineage, "timelineTick": *timelineTick,
 			"checkpoint": *checkpoint, "resume": *resume,
 			"keepGoing": *keepGoing, "retries": *retries,
 		}

@@ -66,9 +66,11 @@ func run(args []string) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
-		obsDir    = fs.String("obs", "", "directory for observability output: events.jsonl, trace.json (Perfetto) and manifest.json")
-		obsSample = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
-		obsBuffer = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
+		obsDir       = fs.String("obs", "", "directory for observability output: events.jsonl, trace.json (Perfetto), metrics.om (OpenMetrics) and manifest.json")
+		obsSample    = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
+		obsBuffer    = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
+		lineage      = fs.Bool("lineage", false, "collect causal refresh-lineage spans (generation → duty → handoff → delivery trees) and write lineage.jsonl to the -obs directory (requires -obs)")
+		timelineTick = fs.Duration("timeline-tick", 0, "simulated-time telemetry sampling period: snapshot freshness ratio, cumulative counts and per-node/item copy age every tick into timeline.csv in the -obs directory (0 = off, negative = auto tick of measurement-phase/240; requires -obs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,12 +85,16 @@ func run(args []string) error {
 	if *checkpoint != "" && (*runs <= 1 || *compare != "") {
 		return fmt.Errorf("-checkpoint applies to replicated runs only (-runs > 1, without -compare)")
 	}
+	if (*lineage || *timelineTick != 0) && *obsDir == "" {
+		return fmt.Errorf("-lineage and -timeline-tick require -obs (the output directory)")
+	}
 	var observer *obs.Observer // nil when -obs is off
 	if *obsDir != "" {
 		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
 			return err
 		}
-		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer})
+		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer,
+			Lineage: *lineage, TimelineTick: timelineTick.Seconds()})
 	}
 
 	if *cpuProfile != "" {
@@ -192,8 +198,8 @@ func run(args []string) error {
 			}, baseOpts, observer)
 		}
 
-		rt := observer.Run("freshsim/" + *scheme)
-		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
+		obsOpts, commit := obsRun(observer, "freshsim/"+*scheme, *scheme)
+		opts = append(opts, obsOpts...)
 		sim, err := freshcache.New(opts...)
 		if err != nil {
 			return err
@@ -202,7 +208,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		observer.Commit(rt)
+		commit()
 		observer.RecordRun(res.Scheme, res)
 
 		if *asJSON {
@@ -234,17 +240,52 @@ func run(args []string) error {
 	return nil
 }
 
+// obsRun opens the per-run observability collectors for one labelled
+// simulation: the event trace plus, when enabled on the observer, the
+// lineage span tree and the telemetry timeline. It returns the options to
+// attach and a commit func to call after a successful run. Everything is
+// nil-safe, so callers need no -obs conditionals.
+func obsRun(observer *obs.Observer, label, scheme string) ([]freshcache.Option, func()) {
+	rt := observer.Run(label)
+	lin := observer.RunLineage(label, scheme)
+	tl := observer.RunTimeline(label)
+	opts := []freshcache.Option{freshcache.WithObservability(rt, observer.Registry())}
+	if lin != nil {
+		opts = append(opts, freshcache.WithLineage(lin))
+	}
+	if tl != nil {
+		tick := time.Duration(observer.TimelineTick() * float64(time.Second))
+		opts = append(opts, freshcache.WithTimeline(tl, tick))
+	}
+	return opts, func() {
+		observer.Commit(rt)
+		observer.CommitLineage(lin)
+		observer.CommitTimeline(tl)
+	}
+}
+
+// obsFile is one observability artifact: its filename and writer.
+type obsFile struct {
+	name  string
+	write func(*os.File) error
+}
+
 // writeObs flushes the observer's trace and a run manifest into dir.
 func writeObs(dir string, observer *obs.Observer, start time.Time, args []string, seed int64,
 	ledger *expt.Ledger, checkpoint string, resumed bool) error {
 	var outputs []string
-	for _, f := range []struct {
-		name  string
-		write func(*os.File) error
-	}{
+	files := []obsFile{
 		{"events.jsonl", func(f *os.File) error { return observer.WriteJSONL(f) }},
 		{"trace.json", func(f *os.File) error { return observer.WriteChromeTrace(f) }},
-	} {
+		{"metrics.om", func(f *os.File) error { return obs.WriteOpenMetrics(f, observer.Metrics.Snapshot()) }},
+	}
+	if observer.LineageEnabled() {
+		files = append(files, obsFile{"lineage.jsonl", func(f *os.File) error { return observer.WriteLineageJSONL(f) }})
+	}
+	if observer.TimelineTick() != 0 {
+		files = append(files, obsFile{"timeline.csv", func(f *os.File) error { return observer.WriteTimelineCSV(f) }})
+	}
+	for _, f := range files {
 		path := filepath.Join(dir, f.name)
 		out, err := os.Create(path)
 		if err != nil {
@@ -299,6 +340,7 @@ type replicatedConfig struct {
 func replicatedExperimentID(fs *flag.FlagSet) string {
 	skip := map[string]bool{
 		"json": true, "obs": true, "obs-sample": true, "obs-buffer": true,
+		"lineage": true, "timeline-tick": true,
 		"cpuprofile": true, "memprofile": true,
 		"checkpoint": true, "resume": true, "compare": true,
 	}
@@ -342,8 +384,8 @@ func runReplicated(cfg replicatedConfig, baseOpts []freshcache.Option, observer 
 		}, baseOpts...)
 		// Applied last so it overrides the base -seed flag.
 		opts = append(opts, freshcache.WithSeed(simSeed))
-		rt := observer.Run(fmt.Sprintf("freshsim/%s/seed-%d", cfg.scheme, simSeed))
-		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
+		obsOpts, commit := obsRun(observer, fmt.Sprintf("freshsim/%s/seed-%d", cfg.scheme, simSeed), cfg.scheme)
+		opts = append(opts, obsOpts...)
 		sim, err := freshcache.New(opts...)
 		if err != nil {
 			return nil, err
@@ -352,7 +394,7 @@ func runReplicated(cfg replicatedConfig, baseOpts []freshcache.Option, observer 
 		if err != nil {
 			return nil, err
 		}
-		observer.Commit(rt)
+		commit()
 		observer.RecordRun(res.Scheme, res)
 		return []float64{res.FreshnessRatio, res.ValidAccessRate, res.TxPerVersion}, nil
 	})
@@ -381,8 +423,8 @@ func runComparison(schemes string, baseOpts []freshcache.Option, observer *obs.O
 	for _, name := range strings.Split(schemes, ",") {
 		name = strings.TrimSpace(name)
 		opts := append([]freshcache.Option{freshcache.WithScheme(freshcache.SchemeName(name))}, baseOpts...)
-		rt := observer.Run("freshsim/" + name)
-		opts = append(opts, freshcache.WithObservability(rt, observer.Registry()))
+		obsOpts, commit := obsRun(observer, "freshsim/"+name, name)
+		opts = append(opts, obsOpts...)
 		sim, err := freshcache.New(opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -391,7 +433,7 @@ func runComparison(schemes string, baseOpts []freshcache.Option, observer *obs.O
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		observer.Commit(rt)
+		commit()
 		observer.RecordRun(res.Scheme, res)
 		fmt.Printf("%-20s  %-9.4f  %-11.4f  %-10.2f  %-12.3f  %-8.3f\n",
 			name, res.FreshnessRatio, res.ValidAccessRate, res.TxPerVersion,

@@ -183,8 +183,8 @@ func TestRunCheckpointConfigChangeReExecutes(t *testing.T) {
 func TestRunCheckpointValidation(t *testing.T) {
 	path := smallTraceFile(t)
 	cases := [][]string{
-		{"-trace", path, "-runs", "3", "-resume"}, // -resume without -checkpoint
-		{"-trace", path, "-checkpoint", filepath.Join(t.TempDir(), "c.jsonl")},              // single run
+		{"-trace", path, "-runs", "3", "-resume"},                                                    // -resume without -checkpoint
+		{"-trace", path, "-checkpoint", filepath.Join(t.TempDir(), "c.jsonl")},                       // single run
 		{"-trace", path, "-compare", "direct", "-checkpoint", filepath.Join(t.TempDir(), "c.jsonl")}, // compare mode
 	}
 	for _, args := range cases {

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"freshcache/internal/mobility"
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -34,6 +36,7 @@ func run(args []string) error {
 		hours  = fs.Float64("hours", 6, "trace duration in hours (rwp)")
 		seed   = fs.Int64("seed", 1, "random seed")
 		out    = fs.String("out", "", "output file (default stdout)")
+		obsDir = fs.String("obs", "", "directory for a provenance manifest.json (command, seed, outputs, toolchain)")
 
 		// hetexp / community knobs.
 		meanRate  = fs.Float64("rate", 4, "mean pairwise contacts per day (hetexp) / intra-community rate (community)")
@@ -47,6 +50,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	start := time.Now()
 
 	var gen mobility.Generator
 	switch {
@@ -96,13 +100,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *out == "" {
-		return trace.Write(os.Stdout, tr)
-	}
-	if err := trace.WriteFile(*out, tr); err != nil {
+	err = func() error {
+		if *out == "" {
+			return trace.Write(os.Stdout, tr)
+		}
+		if err := trace.WriteFile(*out, tr); err != nil {
+			return err
+		}
+		s := tr.ComputeStats()
+		fmt.Printf("wrote %s: %d nodes, %.1f hours, %d contacts\n", *out, s.Nodes, s.DurationHours, s.Contacts)
+		return nil
+	}()
+	if err != nil {
 		return err
 	}
-	s := tr.ComputeStats()
-	fmt.Printf("wrote %s: %d nodes, %.1f hours, %d contacts\n", *out, s.Nodes, s.DurationHours, s.Contacts)
+	if *obsDir != "" {
+		var outputs []string
+		if *out != "" {
+			outputs = []string{*out}
+		}
+		return obs.WriteToolManifest(*obsDir, "tracegen", args, *seed, outputs, start)
+	}
 	return nil
 }

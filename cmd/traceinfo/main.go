@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"freshcache/internal/centrality"
+	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
@@ -32,10 +33,12 @@ func run(args []string) error {
 	var (
 		top    = fs.Int("top", 10, "how many central nodes to list")
 		window = fs.Duration("window", 6*time.Hour, "centrality contact window")
+		obsDir = fs.String("obs", "", "directory for a provenance manifest.json (command, inputs, toolchain)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	start := time.Now()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: traceinfo [flags] <trace-file>")
 	}
@@ -89,6 +92,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("\ngreedy coverage selection of %d caching nodes: %v\n", *top, sel)
+	if *obsDir != "" {
+		return obs.WriteToolManifest(*obsDir, "traceinfo", args, 0, nil, start)
+	}
 	return nil
 }
 

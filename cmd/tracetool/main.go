@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -35,9 +37,11 @@ func run(args []string) error {
 
 	fs := flag.NewFlagSet("tracetool "+cmd, flag.ContinueOnError)
 	var (
-		out = fs.String("out", "", "output file (default stdout)")
-		top = fs.Int("top", 50, "subset: keep this many most-active nodes")
+		out    = fs.String("out", "", "output file (default stdout)")
+		top    = fs.Int("top", 50, "subset: keep this many most-active nodes")
+		obsDir = fs.String("obs", "", "directory for a provenance manifest.json (command, outputs, toolchain)")
 	)
+	start := time.Now()
 	// Accept "tracetool subset file -top 50" and "tracetool subset -top 50 file".
 	var files []string
 	for len(rest) > 0 {
@@ -111,13 +115,26 @@ func run(args []string) error {
 		return fmt.Errorf("unknown subcommand %q (have convert, rebase, subset, concat)", cmd)
 	}
 
-	if *out == "" {
-		return trace.Write(os.Stdout, result)
-	}
-	if err := trace.WriteFile(*out, result); err != nil {
+	err := func() error {
+		if *out == "" {
+			return trace.Write(os.Stdout, result)
+		}
+		if err := trace.WriteFile(*out, result); err != nil {
+			return err
+		}
+		s := result.ComputeStats()
+		fmt.Printf("wrote %s: %d nodes, %.1f hours, %d contacts\n", *out, s.Nodes, s.DurationHours, s.Contacts)
+		return nil
+	}()
+	if err != nil {
 		return err
 	}
-	s := result.ComputeStats()
-	fmt.Printf("wrote %s: %d nodes, %.1f hours, %d contacts\n", *out, s.Nodes, s.DurationHours, s.Contacts)
+	if *obsDir != "" {
+		var outputs []string
+		if *out != "" {
+			outputs = []string{*out}
+		}
+		return obs.WriteToolManifest(*obsDir, "tracetool", args, 0, outputs, start)
+	}
 	return nil
 }

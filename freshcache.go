@@ -146,6 +146,9 @@ type options struct {
 	rebuildInterval float64
 	obsTrace        *obs.RunTrace
 	obsMetrics      *obs.Registry
+	obsLineage      *obs.Lineage
+	obsTimeline     *obs.Timeline
+	timelineTick    float64
 }
 
 // Option configures a Simulation.
@@ -448,6 +451,31 @@ func WithObservability(tr *obs.RunTrace, reg *obs.Registry) Option {
 	}
 }
 
+// WithLineage attaches a causal lineage collector: every generated version
+// gets a root span, extended at each duty assumption, relay handoff and
+// delivery, so the full generation→hop→…→delivery tree of each refresh can
+// be reconstructed afterwards. Nil is allowed (lineage off). Like
+// WithObservability, this option exists for the module's own commands.
+func WithLineage(l *obs.Lineage) Option {
+	return func(o *options) error {
+		o.obsLineage = l
+		return nil
+	}
+}
+
+// WithTimeline attaches a simulated-time telemetry sampler that snapshots
+// the freshness ratio, cumulative contact/delivery/transmission counts and
+// per-(caching node, item) copy age every tick of simulated time (tick <= 0
+// selects the engine default, measurement phase / 240). Enabling it
+// schedules extra simulator events, so Result.SimulatedEventCount grows.
+func WithTimeline(tl *obs.Timeline, tick time.Duration) Option {
+	return func(o *options) error {
+		o.obsTimeline = tl
+		o.timelineTick = tick.Seconds()
+		return nil
+	}
+}
+
 // WithSprayCopies sets the per-version copy budget of the spray-and-wait
 // scheme (default 8). Only meaningful with SchemeSprayAndWait.
 func WithSprayCopies(l int) Option {
@@ -551,6 +579,9 @@ func New(opts ...Option) (*Simulation, error) {
 		Churn:           network.ChurnConfig{MeanUp: o.churnUp, MeanDown: o.churnDown},
 		Obs:             o.obsTrace,
 		Metrics:         o.obsMetrics,
+		Lineage:         o.obsLineage,
+		Timeline:        o.obsTimeline,
+		TimelineTick:    o.timelineTick,
 	}
 	if o.distributed {
 		cfg.Knowledge = core.KnowledgeDistributed

@@ -59,6 +59,10 @@ type Runtime struct {
 	// Obs is the run's event trace (nil when tracing is off). Emit is
 	// nil-safe, so schemes record unconditionally.
 	Obs *obs.RunTrace
+	// Lin is the run's causal lineage (nil when lineage is off). All its
+	// methods are nil-safe and return SpanID 0 when off, so schemes parent
+	// spans unconditionally.
+	Lin *obs.Lineage
 
 	eng *Engine
 	// isCaching is indexed by NodeID — the per-contact membership test is
@@ -220,6 +224,19 @@ type Config struct {
 	// and delivery counters, event-queue depth). Both stay nil in
 	// benchmarks: the disabled path is a handful of nil checks.
 	Metrics *obs.Registry
+	// Lineage, when non-nil, receives the run's causal span tree: one root
+	// per generated version, extended at every duty assumption, relay
+	// handoff, delivery and duty reassignment. Like Obs it is nil-safe
+	// throughout, so the lineage-off hot path costs one branch per site.
+	Lineage *obs.Lineage
+	// Timeline, when non-nil, receives simulated-time telemetry samples
+	// (freshness ratio, cumulative counts, per-node/per-item copy age)
+	// every TimelineTick simulated seconds. Enabling it schedules extra
+	// simulator events, so Result.SimulatedEventCount grows with it on.
+	Timeline *obs.Timeline
+	// TimelineTick is the sampling period in simulated seconds; <= 0
+	// selects the freshness-sampling default (measurement phase / 240).
+	TimelineTick float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -306,8 +323,11 @@ type Engine struct {
 
 	// Observability: obsTrace receives typed events (nil = off); the
 	// metric handles are resolved once at construction and are nil (no-op)
-	// when cfg.Metrics is nil.
+	// when cfg.Metrics is nil. lineage and timeline are the run's causal
+	// span tree and telemetry sampler (both nil = off, nil-safe).
 	obsTrace    *obs.RunTrace
+	lineage     *obs.Lineage
+	timeline    *obs.Timeline
 	cContacts   *obs.Counter
 	cDeliveries *obs.Counter
 	cQueryDrops *obs.Counter
@@ -334,6 +354,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		stores:      make([]*cache.Store, cfg.Trace.N),
 		sources:     make(map[trace.NodeID][]cache.ItemID),
 		obsTrace:    cfg.Obs,
+		lineage:     cfg.Lineage,
+		timeline:    cfg.Timeline,
 		cContacts:   cfg.Metrics.Counter("engine/contacts"),
 		cDeliveries: cfg.Metrics.Counter("engine/deliveries"),
 		cQueryDrops: cfg.Metrics.Counter("engine/query_drops"),
@@ -537,6 +559,7 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 		RelayBufferCap: e.cfg.RelayBufferCap,
 		Seed:           e.cfg.Seed,
 		Obs:            e.obsTrace,
+		Lin:            e.lineage,
 		eng:            e,
 		isCaching:      make([]bool, e.cfg.Trace.N),
 	}
@@ -579,6 +602,14 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 							})
 						}
 					}
+					if e.lineage != nil {
+						// One reassign span per item, parented on the newest
+						// generation so the tree shows which version's duty
+						// chain the rebuild interrupted.
+						for _, it := range e.cfg.Catalog.View() {
+							e.lineage.Reassign(tnow, e.lineage.LatestRoot(int32(it.ID)), int32(it.Source), int32(it.ID))
+						}
+					}
 				}); err != nil {
 					return err
 				}
@@ -603,6 +634,10 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 						A: int32(it.Source), B: -1, Item: int32(it.ID), Ver: int32(v),
 					})
 				}
+				// The root span exists before the scheme sees the version,
+				// so every duty/handoff the scheme records can parent on it
+				// via Lin.Root.
+				e.lineage.Generate(tnow, int32(it.ID), int32(v), int32(it.Source))
 				e.cfg.Scheme.OnGenerate(it, v, tnow)
 			}); err != nil {
 				return err
@@ -620,6 +655,23 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 			e.collector.RecordSample(tnow, e.freshnessRatio(tnow))
 		}); err != nil {
 			return err
+		}
+	}
+
+	// Telemetry timeline: scheduled only when a sampler is attached, so
+	// the timeline-off event count (and thus determinism baselines) are
+	// untouched.
+	if e.timeline != nil {
+		tick := e.cfg.TimelineTick
+		if tick <= 0 {
+			tick = (e.horizon - e.rt.Epoch) / 240
+		}
+		for t := e.rt.Epoch + tick; t < e.horizon; t += tick {
+			if _, err := e.sim.ScheduleAt(t, func(tnow float64) {
+				e.sampleTimeline(tnow)
+			}); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -681,6 +733,27 @@ func (e *Engine) deliverToCache(node trace.NodeID, c cache.Copy, now float64) bo
 		})
 	}
 	return true
+}
+
+// sampleTimeline records one telemetry tick: run-level aggregates first,
+// then the age of every held (caching node, item) copy. It reads only
+// run-local state (collector, net, stores), never the process-wide metric
+// registry — under a parallel sweep the registry mixes concurrent runs, so
+// sampling it here would make the export depend on worker scheduling.
+func (e *Engine) sampleTimeline(now float64) {
+	tl := e.timeline
+	tl.Sample(now, "freshness_ratio", -1, -1, e.freshnessRatio(now))
+	tl.Sample(now, "contacts", -1, -1, float64(e.net.ContactsDispatched()))
+	tl.Sample(now, "deliveries", -1, -1, float64(e.collector.DeliveryCount()))
+	tl.Sample(now, "transmissions", -1, -1, float64(e.net.TotalTransmissions()))
+	for _, cn := range e.rt.CachingNodes {
+		st := e.stores[cn]
+		for _, it := range e.cfg.Catalog.View() {
+			if c, ok := st.Peek(it.ID); ok {
+				tl.Sample(now, "copy_age", int32(cn), int32(it.ID), now-c.GeneratedAt)
+			}
+		}
+	}
 }
 
 // freshnessRatio is the fraction of (caching node, item) pairs holding the

@@ -46,6 +46,9 @@ type duty struct {
 	// the relay is unused; the whole slice is nil when replication is off
 	// or planned no relays for this duty).
 	relayFor []*bitset.Set
+	// span is the duty's lineage span (0 when lineage is off): the parent
+	// of every delivery and relay handoff made under this duty.
+	span obs.SpanID
 }
 
 // relayEntry is a copy parked at a relay node on behalf of responsible
@@ -55,6 +58,9 @@ type relayEntry struct {
 	genAt  float64
 	expire float64
 	dests  *bitset.Set
+	// span is the handoff's lineage span (0 when lineage is off): the
+	// parent of deliveries the relay makes from this copy.
+	span obs.SpanID
 }
 
 // planKey memoizes one PlanReplication call: the plan depends only on
@@ -124,6 +130,12 @@ type refreshScheme struct {
 	// sorted by (item, version) — the order actAsRelay previously
 	// re-derived with a per-contact sort.
 	relays [][]*relayEntry
+	// lin is the run's lineage (nil = off, all methods nil-safe);
+	// copySpan[node][item] is the delivery span under which the node's
+	// current copy arrived — the parent for onward syncs. The matrix is
+	// allocated only when lineage is on.
+	lin      *obs.Lineage
+	copySpan [][]obs.SpanID
 	// scratch is reused by the relay hand-off path for the live
 	// destination intersection, keeping OnContact allocation-free.
 	scratch *bitset.Set
@@ -227,6 +239,14 @@ func (s *refreshScheme) Init(rt *Runtime) error {
 	s.dutyCount = make([]int, s.n)
 	s.relays = make([][]*relayEntry, s.n)
 	s.scratch = bitset.New(s.n)
+	s.lin = rt.Lin
+	s.copySpan = nil
+	if s.lin != nil {
+		s.copySpan = make([][]obs.SpanID, s.n)
+		for i := range s.copySpan {
+			s.copySpan[i] = make([]obs.SpanID, len(s.items))
+		}
+	}
 	s.planCache = nil
 	s.planValid = false
 	if s.randomRelays {
@@ -312,7 +332,7 @@ func (s *refreshScheme) OnGenerate(it cache.Item, version int, now float64) {
 	if s.adaptive {
 		s.adjustBudget(it)
 	}
-	s.assumeDuty(it.Source, it, version, now, now)
+	s.assumeDuty(it.Source, it, version, now, now, s.lin.Root(int32(it.ID), int32(version)))
 }
 
 // adjustBudget is the per-item feedback controller: compare the on-time
@@ -379,11 +399,30 @@ func (s *refreshScheme) planMemo(rates centrality.RateView) map[planKey]RelayPla
 	return s.planCache
 }
 
+// copySpanAt returns the lineage span the node's current copy of the item
+// arrived under (0 when lineage is off or the copy predates tracking).
+func (s *refreshScheme) copySpanAt(node trace.NodeID, item cache.ItemID) obs.SpanID {
+	if s.copySpan == nil {
+		return 0
+	}
+	return s.copySpan[node][item]
+}
+
+// setCopySpan records the delivery span of the node's current copy.
+func (s *refreshScheme) setCopySpan(node trace.NodeID, item cache.ItemID, id obs.SpanID) {
+	if s.copySpan == nil {
+		return
+	}
+	s.copySpan[node][item] = id
+}
+
 // assumeDuty makes `holder` responsible for refreshing its children in the
 // item's tree with the given version. genAt is the version's generation
 // time; now the moment responsibility starts (later than genAt for caching
-// nodes deeper in the tree).
-func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version int, genAt, now float64) {
+// nodes deeper in the tree). parent is the lineage span that caused the
+// duty (the generation root at the source, the delivery span elsewhere; 0
+// when lineage is off).
+func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version int, genAt, now float64, parent obs.SpanID) {
 	t := s.trees[it.ID]
 	children := t.ResponsibleFor(holder)
 	if len(children) == 0 {
@@ -415,6 +454,8 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 	if ndests == 0 {
 		return
 	}
+	// Nil-safe: Duty returns 0 when lineage is off.
+	d.span = s.lin.Duty(now, parent, int32(holder), int32(it.ID), int32(version))
 
 	if s.replicate {
 		budget := d.genAt + d.window - now
@@ -556,8 +597,17 @@ func (s *refreshScheme) syncPeers(c *network.Contact, from, to trace.NodeID) {
 		}
 		cp.ReceivedAt = c.Time
 		if s.rt.DeliverToCache(to, cp, c.Time) {
+			// Parent on the span the giver's copy arrived under; copies
+			// held since before lineage tracking fall back to the
+			// generation root.
+			parent := s.copySpanAt(from, it.ID)
+			if parent == 0 {
+				parent = s.lin.Root(int32(it.ID), int32(cp.Version))
+			}
+			sp := s.lin.Delivered(c.Time, parent, int32(from), int32(to), int32(it.ID), int32(cp.Version), c.Time-cp.GeneratedAt)
+			s.setCopySpan(to, it.ID, sp)
 			s.observeDelivery(it.ID, cp.GeneratedAt, it.FreshnessWindow, c.Time)
-			s.assumeDuty(to, it, cp.Version, cp.GeneratedAt, c.Time)
+			s.assumeDuty(to, it, cp.Version, cp.GeneratedAt, c.Time, sp)
 		}
 	}
 }
@@ -597,8 +647,10 @@ func (s *refreshScheme) actAsResponsible(c *network.Contact, holder, peer trace.
 			}
 			cp := cache.Copy{Item: itemID, Version: d.key.version, GeneratedAt: d.genAt, ReceivedAt: c.Time}
 			if s.rt.DeliverToCache(peer, cp, c.Time) {
+				sp := s.lin.Delivered(c.Time, d.span, int32(holder), int32(peer), int32(itemID), int32(d.key.version), c.Time-d.genAt)
+				s.setCopySpan(peer, itemID, sp)
 				s.observeDelivery(itemID, d.genAt, d.window, c.Time)
-				s.assumeDuty(peer, it, d.key.version, d.genAt, c.Time)
+				s.assumeDuty(peer, it, d.key.version, d.genAt, c.Time, sp)
 			}
 			d.dests.Remove(p)
 		} else if d.relayFor != nil && d.relayFor[peer] != nil {
@@ -644,6 +696,7 @@ func (s *refreshScheme) giveToRelay(c *network.Contact, holder, relay trace.Node
 		// no refresh.
 		expire: d.genAt + d.ttl,
 		dests:  bitset.New(s.n),
+		span:   s.lin.Handoff(c.Time, d.span, int32(holder), int32(relay), int32(d.key.item), int32(d.key.version)),
 	}
 	entry.dests.Or(live)
 	s.relays[relay] = insertRelayEntry(buf, entry)
@@ -699,9 +752,11 @@ func (s *refreshScheme) actAsRelay(c *network.Contact, relay, peer trace.NodeID)
 		}
 		cp := cache.Copy{Item: entry.key.item, Version: entry.key.version, GeneratedAt: entry.genAt, ReceivedAt: c.Time}
 		if s.rt.DeliverToCache(peer, cp, c.Time) {
+			sp := s.lin.Delivered(c.Time, entry.span, int32(relay), int32(peer), int32(entry.key.item), int32(entry.key.version), c.Time-entry.genAt)
+			s.setCopySpan(peer, entry.key.item, sp)
 			if it, err := s.rt.Catalog.Item(entry.key.item); err == nil {
 				s.observeDelivery(entry.key.item, entry.genAt, it.FreshnessWindow, c.Time)
-				s.assumeDuty(peer, it, entry.key.version, entry.genAt, c.Time)
+				s.assumeDuty(peer, it, entry.key.version, entry.genAt, c.Time, sp)
 			}
 		}
 	}
@@ -809,6 +864,11 @@ type epidemicScheme struct {
 	// relays, not just caching nodes); Version < 0 marks no copy. Rows
 	// are allocated on a node's first copy.
 	known [][]cache.Copy
+	// lin is the run's lineage (nil = off); spans[node][item] mirrors
+	// known with the span the node's copy arrived under, allocated only
+	// when lineage is on.
+	lin   *obs.Lineage
+	spans [][]obs.SpanID
 }
 
 var _ Scheme = (*epidemicScheme)(nil)
@@ -824,12 +884,24 @@ func (s *epidemicScheme) Init(rt *Runtime) error {
 	s.rt = rt
 	s.items = rt.Items()
 	s.known = make([][]cache.Copy, rt.N)
+	s.lin = rt.Lin
+	s.spans = nil
+	if s.lin != nil {
+		s.spans = make([][]obs.SpanID, rt.N)
+		for i := range s.spans {
+			s.spans[i] = make([]obs.SpanID, len(s.items))
+		}
+	}
 	return nil
 }
 
 // OnGenerate implements Scheme.
 func (s *epidemicScheme) OnGenerate(it cache.Item, version int, now float64) {
 	s.setKnown(it.Source, cache.Copy{Item: it.ID, Version: version, GeneratedAt: now, ReceivedAt: now})
+	if s.spans != nil {
+		// The source's copy descends straight from the generation root.
+		s.spans[it.Source][it.ID] = s.lin.Root(int32(it.ID), int32(version))
+	}
 }
 
 func (s *epidemicScheme) setKnown(node trace.NodeID, c cache.Copy) {
@@ -877,8 +949,19 @@ func (s *epidemicScheme) push(c *network.Contact, from, to trace.NodeID) {
 		cp.ReceivedAt = c.Time
 		s.setKnown(to, cp)
 		dst = s.known[to] // row may have just been allocated
+		delivered := false
 		if s.rt.IsCachingNode(to) {
-			s.rt.DeliverToCache(to, cp, c.Time)
+			delivered = s.rt.DeliverToCache(to, cp, c.Time)
+		}
+		if s.spans != nil {
+			// A cache acceptance ends a branch with a delivery span; any
+			// other transfer is an epidemic carry (handoff).
+			parent := s.spans[from][it.ID]
+			if delivered {
+				s.spans[to][it.ID] = s.lin.Delivered(c.Time, parent, int32(from), int32(to), int32(it.ID), int32(cp.Version), c.Time-cp.GeneratedAt)
+			} else {
+				s.spans[to][it.ID] = s.lin.Handoff(c.Time, parent, int32(from), int32(to), int32(it.ID), int32(cp.Version))
+			}
 		}
 	}
 }
@@ -905,8 +988,13 @@ func (s *oracleScheme) Init(rt *Runtime) error {
 
 // OnGenerate implements Scheme.
 func (s *oracleScheme) OnGenerate(it cache.Item, version int, now float64) {
+	root := s.rt.Lin.Root(int32(it.ID), int32(version))
 	for _, cn := range s.rt.CachingNodes {
-		s.rt.DeliverToCache(cn, cache.Copy{Item: it.ID, Version: version, GeneratedAt: now, ReceivedAt: now}, now)
+		if s.rt.DeliverToCache(cn, cache.Copy{Item: it.ID, Version: version, GeneratedAt: now, ReceivedAt: now}, now) {
+			// Instantaneous delivery: one zero-age span per caching node,
+			// parented directly on the generation root.
+			s.rt.Lin.Delivered(now, root, int32(it.Source), int32(cn), int32(it.ID), int32(version), 0)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"freshcache/internal/cache"
 	"freshcache/internal/network"
+	"freshcache/internal/obs"
 	"freshcache/internal/trace"
 )
 
@@ -23,6 +24,11 @@ type sprayScheme struct {
 	tokens map[trace.NodeID]map[copyKey]int
 	// meta[key] records the version's generation time and expiry.
 	meta map[copyKey]sprayMeta
+	// lin is the run's lineage (nil = off); spanOf[node][key] is the span
+	// the node's tokens for the version arrived under, allocated only when
+	// lineage is on.
+	lin    *obs.Lineage
+	spanOf map[trace.NodeID]map[copyKey]obs.SpanID
 }
 
 type sprayMeta struct {
@@ -53,7 +59,33 @@ func (s *sprayScheme) Init(rt *Runtime) error {
 	s.rt = rt
 	s.tokens = make(map[trace.NodeID]map[copyKey]int, rt.N)
 	s.meta = make(map[copyKey]sprayMeta)
+	s.lin = rt.Lin
+	s.spanOf = nil
+	if s.lin != nil {
+		s.spanOf = make(map[trace.NodeID]map[copyKey]obs.SpanID, rt.N)
+	}
 	return nil
+}
+
+// tokenSpan returns the span the node's tokens for key arrived under.
+func (s *sprayScheme) tokenSpan(node trace.NodeID, key copyKey) obs.SpanID {
+	if s.spanOf == nil {
+		return 0
+	}
+	return s.spanOf[node][key]
+}
+
+// setTokenSpan records the span backing the node's tokens for key.
+func (s *sprayScheme) setTokenSpan(node trace.NodeID, key copyKey, id obs.SpanID) {
+	if s.spanOf == nil {
+		return
+	}
+	m := s.spanOf[node]
+	if m == nil {
+		m = make(map[copyKey]obs.SpanID)
+		s.spanOf[node] = m
+	}
+	m[key] = id
 }
 
 // OnGenerate implements Scheme: the source mints L tokens and drops its
@@ -68,6 +100,7 @@ func (s *sprayScheme) OnGenerate(it cache.Item, version int, now float64) {
 	}
 	delete(src, copyKey{item: it.ID, version: version - 1})
 	src[key] = s.l
+	s.setTokenSpan(it.Source, key, s.lin.Root(int32(it.ID), int32(version)))
 }
 
 // OnContact implements Scheme.
@@ -103,7 +136,9 @@ func (s *sprayScheme) act(c *network.Contact, holder, peer trace.NodeID) {
 					return
 				}
 				cp := cache.Copy{Item: key.item, Version: key.version, GeneratedAt: m.genAt, ReceivedAt: c.Time}
-				s.rt.DeliverToCache(peer, cp, c.Time)
+				if s.rt.DeliverToCache(peer, cp, c.Time) {
+					s.lin.Delivered(c.Time, s.tokenSpan(holder, key), int32(holder), int32(peer), int32(key.item), int32(key.version), c.Time-m.genAt)
+				}
 			}
 			continue
 		}
@@ -126,6 +161,9 @@ func (s *sprayScheme) act(c *network.Contact, holder, peer trace.NodeID) {
 			s.tokens[peer] = dst
 		}
 		dst[key] = give
+		if s.spanOf != nil {
+			s.setTokenSpan(peer, key, s.lin.Handoff(c.Time, s.tokenSpan(holder, key), int32(holder), int32(peer), int32(key.item), int32(key.version)))
+		}
 	}
 }
 

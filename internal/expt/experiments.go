@@ -89,18 +89,27 @@ func cellLabel(c Cell) string {
 }
 
 // runScenario runs one labelled scenario with the options' observability
-// attached: the run gets its own event trace and the shared registry, and
-// a successful result is folded into Stats and the per-scheme roll-ups.
+// attached: the run gets its own event trace, lineage, timeline and the
+// shared registry, and a successful result is folded into Stats and the
+// per-scheme roll-ups. Failed runs commit nothing, so exports only carry
+// completed cells.
 func (o Options) runScenario(label string, sc Scenario, scheme core.Scheme, tr *trace.Trace) (metrics.Result, *core.Engine, error) {
 	rt := o.Obs.Run(label)
+	lin := o.Obs.RunLineage(label, scheme.Name())
+	tl := o.Obs.RunTimeline(label)
 	sc.Obs = rt
 	sc.Metrics = o.Obs.Registry()
+	sc.Lineage = lin
+	sc.Timeline = tl
+	sc.TimelineTick = o.Obs.TimelineTick()
 	res, eng, err := sc.RunOnTrace(scheme, tr)
 	if err != nil {
 		return res, eng, err
 	}
 	o.record(res)
 	o.Obs.Commit(rt)
+	o.Obs.CommitLineage(lin)
+	o.Obs.CommitTimeline(tl)
 	o.Obs.RecordRun(res.Scheme, res)
 	return res, eng, nil
 }

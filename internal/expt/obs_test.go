@@ -88,6 +88,96 @@ func TestObsTraceDeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+// runQuickE2Lineage runs the quick E2 sweep with lineage and timeline
+// collection on and returns the flushed lineage JSONL and timeline CSV.
+func runQuickE2Lineage(t *testing.T, parallel int) (lineage, timeline []byte) {
+	t.Helper()
+	e, err := ByID("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Config{SampleEvery: 64, Lineage: true, TimelineTick: 6 * 3600})
+	if _, err := e.Run(Options{Seed: 42, Quick: true, Parallel: parallel,
+		Stats: metrics.NewRunStats(), Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	var lj, tc bytes.Buffer
+	if err := o.WriteLineageJSONL(&lj); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteTimelineCSV(&tc); err != nil {
+		t.Fatal(err)
+	}
+	return lj.Bytes(), tc.Bytes()
+}
+
+// TestLineageTimelineDeterministicAcrossParallel extends the golden
+// determinism check to the new exports: lineage spans and timeline samples
+// must be byte-identical across worker counts.
+func TestLineageTimelineDeterministicAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick E2 sweep twice")
+	}
+	lj1, tc1 := runQuickE2Lineage(t, 1)
+	lj8, tc8 := runQuickE2Lineage(t, 8)
+	if len(lj1) == 0 || len(tc1) == 0 {
+		t.Fatalf("no lineage (%d bytes) or timeline (%d bytes) emitted", len(lj1), len(tc1))
+	}
+	if !bytes.Equal(lj1, lj8) {
+		t.Fatalf("lineage diverged across -parallel (1: %d bytes, 8: %d bytes)", len(lj1), len(lj8))
+	}
+	if !bytes.Equal(tc1, tc8) {
+		t.Fatalf("timeline diverged across -parallel (1: %d bytes, 8: %d bytes)", len(tc1), len(tc8))
+	}
+
+	// The export must parse back, carry sweep cell labels, and every run's
+	// span set must form well-parented trees: a delivery hangs off a
+	// generation through at least one edge.
+	records, err := obs.ReadSpansJSONL(bytes.NewReader(lj1))
+	if err != nil {
+		t.Fatalf("lineage round-trip: %v", err)
+	}
+	perRun := map[string][]obs.SpanRecord{}
+	for _, rec := range records {
+		if !strings.HasPrefix(rec.Run, "E2/") {
+			t.Fatalf("unexpected run label %q", rec.Run)
+		}
+		perRun[rec.Run] = append(perRun[rec.Run], rec)
+	}
+	deliveries := 0
+	for run, recs := range perRun {
+		tree := obs.BuildSpanTree(recs)
+		if len(tree.Roots) == 0 {
+			t.Fatalf("%s: no generation roots", run)
+		}
+		for _, rec := range recs {
+			if rec.Kind == obs.SpanDelivery {
+				deliveries++
+				if d := tree.Depth(rec.ID); d < 1 {
+					t.Fatalf("%s: delivery span %d has depth %d", run, rec.ID, d)
+				}
+			}
+		}
+	}
+	if deliveries == 0 {
+		t.Fatal("no delivery spans in the whole sweep")
+	}
+
+	tls, err := obs.ReadTimelineCSV(bytes.NewReader(tc1))
+	if err != nil {
+		t.Fatalf("timeline round-trip: %v", err)
+	}
+	series := map[string]bool{}
+	for _, rec := range tls {
+		series[rec.Series] = true
+	}
+	for _, want := range []string{"freshness_ratio", "contacts", "copy_age"} {
+		if !series[want] {
+			t.Fatalf("timeline missing series %q (have %v)", want, series)
+		}
+	}
+}
+
 // TestObsRollupsPopulated checks the sweep-level registry and per-scheme
 // roll-ups fill in during a real run.
 func TestObsRollupsPopulated(t *testing.T) {

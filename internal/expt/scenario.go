@@ -26,9 +26,15 @@ type Scenario struct {
 	Seed            int64
 
 	// Obs and Metrics thread per-run observability into the engine (both
-	// nil when -obs is off).
-	Obs     *obs.RunTrace
-	Metrics *obs.Registry
+	// nil when -obs is off). Lineage and Timeline are the causal span tree
+	// and the simulated-time telemetry sampler (nil when -lineage /
+	// -timeline-tick are off); TimelineTick is the sampling period in
+	// simulated seconds (<= 0 = engine default).
+	Obs          *obs.RunTrace
+	Metrics      *obs.Registry
+	Lineage      *obs.Lineage
+	Timeline     *obs.Timeline
+	TimelineTick float64
 }
 
 // defaultScenario is the base point of every sweep, matching the paper
@@ -114,6 +120,9 @@ func (sc Scenario) RunOnTrace(scheme core.Scheme, tr *trace.Trace) (metrics.Resu
 		Seed:            sc.Seed,
 		Obs:             sc.Obs,
 		Metrics:         sc.Metrics,
+		Lineage:         sc.Lineage,
+		Timeline:        sc.Timeline,
+		TimelineTick:    sc.TimelineTick,
 	}
 	if sc.QueryRate > 0 {
 		cfg.Workload = cache.WorkloadConfig{QueryRate: sc.QueryRate, ZipfExponent: 1.0}

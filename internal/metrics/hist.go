@@ -22,6 +22,11 @@ type Hist struct {
 	Counts []uint64  `json:"counts"` // len(Bounds)+1
 	Total  uint64    `json:"total"`
 	Sum    float64   `json:"sum"`
+	// Min and Max are the exact extremes of the observed values (0 when
+	// Total is 0), so reports can print exact ranges instead of bucket
+	// bounds.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
 }
 
 // NewHist returns an empty histogram over the given ascending bounds.
@@ -35,6 +40,12 @@ func (h *Hist) Observe(v float64) {
 		return
 	}
 	h.Counts[sort.SearchFloat64s(h.Bounds, v)]++
+	if h.Total == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Total == 0 || v > h.Max {
+		h.Max = v
+	}
 	h.Total++
 	h.Sum += v
 }
@@ -44,6 +55,14 @@ func (h *Hist) Observe(v float64) {
 func (h *Hist) Merge(other *Hist) {
 	if h == nil || other == nil || len(other.Counts) != len(h.Counts) {
 		return
+	}
+	if other.Total > 0 {
+		if h.Total == 0 || other.Min < h.Min {
+			h.Min = other.Min
+		}
+		if h.Total == 0 || other.Max > h.Max {
+			h.Max = other.Max
+		}
 	}
 	for i, c := range other.Counts {
 		h.Counts[i] += c
@@ -62,6 +81,8 @@ func (h *Hist) Clone() *Hist {
 		Counts: append([]uint64(nil), h.Counts...),
 		Total:  h.Total,
 		Sum:    h.Sum,
+		Min:    h.Min,
+		Max:    h.Max,
 	}
 	return c
 }

@@ -120,7 +120,10 @@ func TestRunStatsHistogramFooter(t *testing.T) {
 	}
 	s.Record(Result{DeliveryDelayHist: delay, RefreshAgeHist: age})
 	sum := s.Summary(1)
-	for _, want := range []string{"delay[p50=", "age[p50=", "p90=", "p99="} {
+	for _, want := range []string{
+		"delay[mean=370s min=10s max=1000s p50=", "age[mean=740s min=20s max=2000s p50=",
+		"p90=", "p99=",
+	} {
 		if !strings.Contains(sum, want) {
 			t.Fatalf("summary %q missing %q", sum, want)
 		}

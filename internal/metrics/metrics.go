@@ -79,6 +79,10 @@ func (c *Collector) Deliveries() []Delivery {
 // Generated returns the number of versions generated.
 func (c *Collector) Generated() int { return c.generated }
 
+// DeliveryCount returns how many deliveries were recorded, without the
+// defensive copy Deliveries makes — cheap enough for per-tick sampling.
+func (c *Collector) DeliveryCount() int { return len(c.deliveries) }
+
 // Result is the aggregated outcome of one simulation run.
 type Result struct {
 	Scheme string `json:"scheme"`

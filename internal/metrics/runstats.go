@@ -154,12 +154,16 @@ func (s *RunStats) Summary(wallSeconds float64) string {
 		}
 		fmt.Fprintf(&b, " [%s]", strings.Join(parts, ", "))
 	}
+	// The mean/min/max come from the histogram's exact Sum/Min/Max fields,
+	// not bucket midpoints, so the footer matches what obsreport prints.
 	if s.delayHist != nil && s.delayHist.Total > 0 {
-		fmt.Fprintf(&b, " delay[p50=%.0fs p90=%.0fs p99=%.0fs]",
+		fmt.Fprintf(&b, " delay[mean=%.0fs min=%.0fs max=%.0fs p50=%.0fs p90=%.0fs p99=%.0fs]",
+			s.delayHist.Mean(), s.delayHist.Min, s.delayHist.Max,
 			s.delayHist.Quantile(0.50), s.delayHist.Quantile(0.90), s.delayHist.Quantile(0.99))
 	}
 	if s.ageHist != nil && s.ageHist.Total > 0 {
-		fmt.Fprintf(&b, " age[p50=%.0fs p90=%.0fs p99=%.0fs]",
+		fmt.Fprintf(&b, " age[mean=%.0fs min=%.0fs max=%.0fs p50=%.0fs p90=%.0fs p99=%.0fs]",
+			s.ageHist.Mean(), s.ageHist.Min, s.ageHist.Max,
 			s.ageHist.Quantile(0.50), s.ageHist.Quantile(0.90), s.ageHist.Quantile(0.99))
 	}
 	fmt.Fprintf(&b, " simWall=%.2fs", s.seconds)

@@ -1,0 +1,513 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SpanID identifies one lineage span within one run. IDs are assigned
+// densely starting at 1 in creation order; 0 means "no span" and is what
+// nil-safe helpers return when lineage is off.
+type SpanID uint32
+
+// SpanKind classifies what step of a refresh message's life a span records.
+type SpanKind uint8
+
+const (
+	// SpanGenerate is the root of every lineage tree: a source generating
+	// a new version of an item.
+	SpanGenerate SpanKind = iota
+	// SpanDuty marks a node assuming refreshing duty for an item-version
+	// (becoming part of the distributed duty tree).
+	SpanDuty
+	// SpanHandoff marks a refresh message being handed to a relay for
+	// forwarding (the message is in flight, not yet applied at a cache).
+	SpanHandoff
+	// SpanDelivery marks a version arriving at a caching node's store.
+	SpanDelivery
+	// SpanReassign marks a duty reassignment: the responsible-set rebuild
+	// moved refreshing duty for an item between nodes.
+	SpanReassign
+)
+
+var spanKindNames = [...]string{"generate", "duty", "handoff", "delivery", "reassign"}
+
+// String returns the stable wire name of the kind.
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) {
+		return spanKindNames[k]
+	}
+	return "unknown"
+}
+
+// SpanKindFromString inverts String; ok is false for unknown names.
+func SpanKindFromString(s string) (SpanKind, bool) {
+	for i, n := range spanKindNames {
+		if n == s {
+			return SpanKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Span is one step in a refresh message's causal history. From/To are node
+// IDs with -1 meaning "not applicable" (e.g. a generate span has no To).
+// Age carries a kind-specific scalar: for deliveries it is the version age
+// at arrival (seconds since generation); zero elsewhere.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Kind   SpanKind
+	T      float64
+	From   int32
+	To     int32
+	Item   int32
+	Ver    int32
+	Age    float64
+}
+
+// Lineage collects the causal span tree of one run. Like RunTrace it is
+// single-goroutine and nil-safe: every method no-ops (returning SpanID 0
+// where applicable) on a nil receiver, so instrumentation sites need no
+// guards and the lineage-off hot path costs one branch.
+//
+// Capacity: at most cap spans are kept. Once full, new spans are counted
+// in Dropped but not stored — drop-new (rather than ring-overwrite)
+// semantics keep the invariant that a stored span's parent is also stored.
+type Lineage struct {
+	Label  string
+	Scheme string
+
+	cap     int
+	spans   []Span
+	dropped uint64
+
+	// roots maps (item, version) to the generate span, so scheme code can
+	// parent duty/delivery spans without threading IDs through every call.
+	roots map[rootKey]SpanID
+	// latest maps item to the generate span of its newest version.
+	latest map[int32]SpanID
+}
+
+type rootKey struct {
+	item int32
+	ver  int32
+}
+
+// DefaultLineageCap bounds per-run span storage when no cap is given.
+const DefaultLineageCap = 1 << 17
+
+// NewLineage returns a lineage collector for one labelled run. capSpans < 1
+// selects DefaultLineageCap.
+func NewLineage(label, scheme string, capSpans int) *Lineage {
+	if capSpans < 1 {
+		capSpans = DefaultLineageCap
+	}
+	return &Lineage{
+		Label:  label,
+		Scheme: scheme,
+		cap:    capSpans,
+		roots:  make(map[rootKey]SpanID),
+		latest: make(map[int32]SpanID),
+	}
+}
+
+// add stores a span and returns its ID, or 0 if the cap is reached.
+func (l *Lineage) add(s Span) SpanID {
+	if len(l.spans) >= l.cap {
+		l.dropped++
+		return 0
+	}
+	s.ID = SpanID(len(l.spans) + 1)
+	l.spans = append(l.spans, s)
+	return s.ID
+}
+
+// Generate records the root span of a new (item, version) tree: source
+// generated version ver of item at time t.
+func (l *Lineage) Generate(t float64, item, ver int32, source int32) SpanID {
+	if l == nil {
+		return 0
+	}
+	id := l.add(Span{Kind: SpanGenerate, T: t, From: source, To: -1, Item: item, Ver: ver})
+	if id != 0 {
+		l.roots[rootKey{item, ver}] = id
+		l.latest[item] = id
+	}
+	return id
+}
+
+// Root returns the generate span of (item, ver), or 0 if none was recorded.
+func (l *Lineage) Root(item, ver int32) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.roots[rootKey{item, ver}]
+}
+
+// LatestRoot returns the generate span of item's newest recorded version.
+func (l *Lineage) LatestRoot(item int32) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.latest[item]
+}
+
+// Duty records node assuming refreshing duty for (item, ver) under parent.
+func (l *Lineage) Duty(t float64, parent SpanID, node, item, ver int32) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.add(Span{Parent: parent, Kind: SpanDuty, T: t, From: node, To: -1, Item: item, Ver: ver})
+}
+
+// Handoff records a refresh message moving from node `from` to relay `to`.
+func (l *Lineage) Handoff(t float64, parent SpanID, from, to, item, ver int32) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.add(Span{Parent: parent, Kind: SpanHandoff, T: t, From: from, To: to, Item: item, Ver: ver})
+}
+
+// Delivered records version ver of item arriving at caching node `to` from
+// `from`; age is the version age at arrival (t minus generation time).
+func (l *Lineage) Delivered(t float64, parent SpanID, from, to, item, ver int32, age float64) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.add(Span{Parent: parent, Kind: SpanDelivery, T: t, From: from, To: to, Item: item, Ver: ver, Age: age})
+}
+
+// Reassign records refreshing duty for item being (re)assigned to node by
+// the periodic responsible-set rebuild. Ver is -1: reassignment concerns
+// the item's duty, not one version in flight.
+func (l *Lineage) Reassign(t float64, parent SpanID, node, item int32) SpanID {
+	if l == nil {
+		return 0
+	}
+	return l.add(Span{Parent: parent, Kind: SpanReassign, T: t, From: node, To: -1, Item: item, Ver: -1})
+}
+
+// Len returns the number of stored spans.
+func (l *Lineage) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.spans)
+}
+
+// Dropped returns how many spans were discarded at the cap.
+func (l *Lineage) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Spans returns the stored spans in creation order (IDs ascending).
+func (l *Lineage) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	return out
+}
+
+// appendSpanJSONL appends one span as a JSONL record. Hand-rolled like
+// appendJSONL: fixed field order and shortest-round-trip floats keep the
+// export byte-deterministic.
+func appendSpanJSONL(dst []byte, label, scheme string, s Span) []byte {
+	dst = append(dst, `{"run":`...)
+	dst = strconv.AppendQuote(dst, label)
+	dst = append(dst, `,"scheme":`...)
+	dst = strconv.AppendQuote(dst, scheme)
+	dst = append(dst, `,"span":`...)
+	dst = strconv.AppendUint(dst, uint64(s.ID), 10)
+	if s.Parent != 0 {
+		dst = append(dst, `,"parent":`...)
+		dst = strconv.AppendUint(dst, uint64(s.Parent), 10)
+	}
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, s.Kind.String()...)
+	dst = append(dst, '"')
+	dst = append(dst, `,"t":`...)
+	dst = strconv.AppendFloat(dst, s.T, 'g', -1, 64)
+	if s.From >= 0 {
+		dst = append(dst, `,"from":`...)
+		dst = strconv.AppendInt(dst, int64(s.From), 10)
+	}
+	if s.To >= 0 {
+		dst = append(dst, `,"to":`...)
+		dst = strconv.AppendInt(dst, int64(s.To), 10)
+	}
+	if s.Item >= 0 {
+		dst = append(dst, `,"item":`...)
+		dst = strconv.AppendInt(dst, int64(s.Item), 10)
+	}
+	if s.Ver >= 0 {
+		dst = append(dst, `,"ver":`...)
+		dst = strconv.AppendInt(dst, int64(s.Ver), 10)
+	}
+	if s.Age != 0 {
+		dst = append(dst, `,"age":`...)
+		dst = strconv.AppendFloat(dst, s.Age, 'g', -1, 64)
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// WriteJSONL writes the spans as JSON Lines in creation order.
+func (l *Lineage) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, s := range l.spans {
+		line = appendSpanJSONL(line[:0], l.Label, l.Scheme, s)
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SpanRecord is one parsed lineage line, as read back by report tooling.
+type SpanRecord struct {
+	Run    string
+	Scheme string
+	Span
+}
+
+// ReadSpansJSONL parses a lineage JSONL stream written by WriteJSONL.
+// It is a strict reader for the writer above, not a general JSON parser:
+// unknown fields fail.
+func ReadSpansJSONL(r io.Reader) ([]SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []SpanRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := parseSpanLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("lineage line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSpanLine decodes one span record emitted by appendSpanJSONL.
+func parseSpanLine(line []byte) (SpanRecord, error) {
+	rec := SpanRecord{Span: Span{From: -1, To: -1, Item: -1, Ver: -1}}
+	fields, err := splitFlatJSON(line)
+	if err != nil {
+		return rec, err
+	}
+	for _, f := range fields {
+		switch f.key {
+		case "run":
+			s, err := strconv.Unquote(f.val)
+			if err != nil {
+				return rec, fmt.Errorf("run: %w", err)
+			}
+			rec.Run = s
+		case "scheme":
+			s, err := strconv.Unquote(f.val)
+			if err != nil {
+				return rec, fmt.Errorf("scheme: %w", err)
+			}
+			rec.Scheme = s
+		case "span":
+			v, err := strconv.ParseUint(f.val, 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("span: %w", err)
+			}
+			rec.ID = SpanID(v)
+		case "parent":
+			v, err := strconv.ParseUint(f.val, 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("parent: %w", err)
+			}
+			rec.Parent = SpanID(v)
+		case "kind":
+			s, err := strconv.Unquote(f.val)
+			if err != nil {
+				return rec, fmt.Errorf("kind: %w", err)
+			}
+			k, ok := SpanKindFromString(s)
+			if !ok {
+				return rec, fmt.Errorf("unknown span kind %q", s)
+			}
+			rec.Kind = k
+		case "t":
+			v, err := strconv.ParseFloat(f.val, 64)
+			if err != nil {
+				return rec, fmt.Errorf("t: %w", err)
+			}
+			rec.T = v
+		case "from":
+			v, err := strconv.ParseInt(f.val, 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("from: %w", err)
+			}
+			rec.From = int32(v)
+		case "to":
+			v, err := strconv.ParseInt(f.val, 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("to: %w", err)
+			}
+			rec.To = int32(v)
+		case "item":
+			v, err := strconv.ParseInt(f.val, 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("item: %w", err)
+			}
+			rec.Item = int32(v)
+		case "ver":
+			v, err := strconv.ParseInt(f.val, 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("ver: %w", err)
+			}
+			rec.Ver = int32(v)
+		case "age":
+			v, err := strconv.ParseFloat(f.val, 64)
+			if err != nil {
+				return rec, fmt.Errorf("age: %w", err)
+			}
+			rec.Age = v
+		default:
+			return rec, fmt.Errorf("unknown field %q", f.key)
+		}
+	}
+	if rec.ID == 0 {
+		return rec, fmt.Errorf("missing span id")
+	}
+	return rec, nil
+}
+
+// flatField is one key/value pair of a single-level JSON object; val keeps
+// the raw token (quoted for strings).
+type flatField struct {
+	key string
+	val string
+}
+
+// splitFlatJSON tokenizes a one-level JSON object with string or numeric
+// values (the only shapes our JSONL writers emit).
+func splitFlatJSON(line []byte) ([]flatField, error) {
+	if len(line) < 2 || line[0] != '{' || line[len(line)-1] != '}' {
+		return nil, fmt.Errorf("not a flat JSON object")
+	}
+	body := line[1 : len(line)-1]
+	var out []flatField
+	i := 0
+	for i < len(body) {
+		if body[i] != '"' {
+			return nil, fmt.Errorf("expected key quote at byte %d", i)
+		}
+		j := i + 1
+		for j < len(body) && body[j] != '"' {
+			if body[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(body) {
+			return nil, fmt.Errorf("unterminated key")
+		}
+		key := string(body[i+1 : j])
+		j++
+		if j >= len(body) || body[j] != ':' {
+			return nil, fmt.Errorf("expected ':' after key %q", key)
+		}
+		j++
+		start := j
+		if j < len(body) && body[j] == '"' {
+			j++
+			for j < len(body) && body[j] != '"' {
+				if body[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(body) {
+				return nil, fmt.Errorf("unterminated string value for %q", key)
+			}
+			j++
+		} else {
+			for j < len(body) && body[j] != ',' {
+				j++
+			}
+		}
+		out = append(out, flatField{key: key, val: string(body[start:j])})
+		if j < len(body) {
+			if body[j] != ',' {
+				return nil, fmt.Errorf("expected ',' after value of %q", key)
+			}
+			j++
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// SpanTree indexes one run's spans for traversal: children in creation
+// order per parent, roots (parentless spans) in creation order.
+type SpanTree struct {
+	ByID     map[SpanID]SpanRecord
+	Children map[SpanID][]SpanID
+	Roots    []SpanID
+}
+
+// BuildSpanTree indexes records (typically one run's worth) into a tree.
+func BuildSpanTree(records []SpanRecord) *SpanTree {
+	tr := &SpanTree{
+		ByID:     make(map[SpanID]SpanRecord, len(records)),
+		Children: make(map[SpanID][]SpanID),
+	}
+	for _, r := range records {
+		tr.ByID[r.ID] = r
+		if r.Parent == 0 {
+			tr.Roots = append(tr.Roots, r.ID)
+		} else {
+			tr.Children[r.Parent] = append(tr.Children[r.Parent], r.ID)
+		}
+	}
+	sort.Slice(tr.Roots, func(i, j int) bool { return tr.Roots[i] < tr.Roots[j] })
+	for _, kids := range tr.Children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	}
+	return tr
+}
+
+// Depth returns the number of edges from id up to its root. Unknown or
+// orphaned parents terminate the walk (the dangling edge still counts, so
+// a span whose parent was dropped at the cap reports depth ≥ 1).
+func (tr *SpanTree) Depth(id SpanID) int {
+	depth := 0
+	for {
+		r, ok := tr.ByID[id]
+		if !ok || r.Parent == 0 {
+			return depth
+		}
+		depth++
+		id = r.Parent
+		if depth > len(tr.ByID) { // cycle guard; cannot happen for writer output
+			return depth
+		}
+	}
+}

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -116,4 +118,37 @@ func (m *Manifest) Write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// WriteToolManifest writes the minimal provenance manifest the auxiliary
+// trace tools emit under their -obs flag: the exact command line, seed,
+// output files, toolchain and resource usage — enough to reproduce an
+// artifact, without the simulation-only sections (metrics, events,
+// scheme roll-ups). The directory is created if needed.
+func WriteToolManifest(dir, tool string, args []string, seed int64, outputs []string, start time.Time) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := NewManifest(tool)
+	m.Command = append([]string{tool}, args...)
+	m.Seed = seed
+	m.Outputs = outputs
+	m.FinishResources(start)
+	return m.Write(filepath.Join(dir, "manifest.json"))
+}
+
+// ReadManifest parses a manifest.json previously written by Write.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("manifest %s: unsupported schema %q (want %q)", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
 }

@@ -15,6 +15,17 @@ type Config struct {
 	SampleEvery int
 	// BufferCap bounds the per-run ring buffer (DefaultBufferCap if 0).
 	BufferCap int
+	// Lineage enables causal span collection for each run; RunLineage
+	// returns nil when it is false.
+	Lineage bool
+	// LineageCap bounds per-run span storage (DefaultLineageCap if 0).
+	LineageCap int
+	// TimelineTick enables simulated-time telemetry sampling on the given
+	// sim-time period in seconds; 0 disables (RunTimeline returns nil) and
+	// a negative value asks the engine to pick a default tick.
+	TimelineTick float64
+	// TimelineCap bounds per-run point storage (DefaultTimelineCap if 0).
+	TimelineCap int
 }
 
 // Observer is the sweep/experiment-level sink: it hands out per-run
@@ -32,9 +43,11 @@ type Observer struct {
 	// counters; exported so CLIs can snapshot it into manifests/expvar.
 	Metrics *Registry
 
-	mu     sync.Mutex
-	traces []*RunTrace
-	scheme map[string]*schemeRollup
+	mu        sync.Mutex
+	traces    []*RunTrace
+	lineages  []*Lineage
+	timelines []*Timeline
+	scheme    map[string]*schemeRollup
 
 	cellsQueued   *Counter
 	cellsDone     *Counter
@@ -45,9 +58,12 @@ type Observer struct {
 }
 
 type schemeRollup struct {
-	runs      int
-	delayHist *metrics.Hist
-	ageHist   *metrics.Hist
+	runs          int
+	transmissions int
+	deliveries    int
+	generated     int
+	delayHist     *metrics.Hist
+	ageHist       *metrics.Hist
 }
 
 // NewObserver returns an observer with the given trace config and a fresh
@@ -98,6 +114,58 @@ func (o *Observer) Commit(t *RunTrace) {
 	}
 	o.mu.Lock()
 	o.traces = append(o.traces, t)
+	o.mu.Unlock()
+}
+
+// RunLineage returns a fresh lineage collector for one labelled run, or
+// nil when lineage is off — scheme instrumentation is nil-safe either way.
+func (o *Observer) RunLineage(label, scheme string) *Lineage {
+	if o == nil || !o.cfg.Lineage {
+		return nil
+	}
+	return NewLineage(label, scheme, o.cfg.LineageCap)
+}
+
+// CommitLineage hands a finished run's lineage back to the observer.
+func (o *Observer) CommitLineage(l *Lineage) {
+	if o == nil || l == nil {
+		return
+	}
+	o.mu.Lock()
+	o.lineages = append(o.lineages, l)
+	o.mu.Unlock()
+}
+
+// RunTimeline returns a fresh timeline for one labelled run, or nil when
+// timeline sampling is off (TimelineTick == 0).
+func (o *Observer) RunTimeline(label string) *Timeline {
+	if o == nil || o.cfg.TimelineTick == 0 {
+		return nil
+	}
+	return NewTimeline(label, o.cfg.TimelineCap)
+}
+
+// LineageEnabled reports whether lineage collection is on.
+func (o *Observer) LineageEnabled() bool {
+	return o != nil && o.cfg.Lineage
+}
+
+// TimelineTick returns the configured sim-time sampling period (0 = off,
+// negative = engine default).
+func (o *Observer) TimelineTick() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.cfg.TimelineTick
+}
+
+// CommitTimeline hands a finished run's timeline back to the observer.
+func (o *Observer) CommitTimeline(tl *Timeline) {
+	if o == nil || tl == nil {
+		return
+	}
+	o.mu.Lock()
+	o.timelines = append(o.timelines, tl)
 	o.mu.Unlock()
 }
 
@@ -176,14 +244,22 @@ func (o *Observer) RecordRun(scheme string, r metrics.Result) {
 		o.scheme[scheme] = ru
 	}
 	ru.runs++
+	ru.transmissions += r.Transmissions
+	ru.deliveries += r.Deliveries
+	ru.generated += r.VersionsGenerated
 	ru.delayHist.Merge(r.DeliveryDelayHist)
 	ru.ageHist.Merge(r.RefreshAgeHist)
 }
 
-// SchemeRollup is the published per-scheme histogram roll-up.
+// SchemeRollup is the published per-scheme roll-up: merged result
+// histograms plus the cost/benefit totals reports need (transmissions per
+// delivered refresh, per generated version).
 type SchemeRollup struct {
 	Scheme            string        `json:"scheme"`
 	Runs              int           `json:"runs"`
+	Transmissions     int           `json:"transmissions"`
+	Deliveries        int           `json:"deliveries"`
+	VersionsGenerated int           `json:"versionsGenerated"`
 	DeliveryDelayHist *metrics.Hist `json:"deliveryDelayHist,omitempty"`
 	RefreshAgeHist    *metrics.Hist `json:"refreshAgeHist,omitempty"`
 }
@@ -200,6 +276,9 @@ func (o *Observer) SchemeRollups() []SchemeRollup {
 		out = append(out, SchemeRollup{
 			Scheme:            name,
 			Runs:              ru.runs,
+			Transmissions:     ru.transmissions,
+			Deliveries:        ru.deliveries,
+			VersionsGenerated: ru.generated,
 			DeliveryDelayHist: ru.delayHist.Clone(),
 			RefreshAgeHist:    ru.ageHist.Clone(),
 		})
@@ -220,12 +299,19 @@ func (o *Observer) sortedTraces() []*RunTrace {
 	return ts
 }
 
-// EventStats sums trace volume across committed runs.
+// EventStats sums trace, lineage and timeline volume across committed
+// runs.
 type EventStats struct {
 	Runs     int    `json:"runs"`
 	Seen     uint64 `json:"eventsSeen"`
 	Buffered uint64 `json:"eventsBuffered"`
 	Dropped  uint64 `json:"eventsDropped"`
+	// Lineage span volume (0 unless -lineage was on).
+	Spans        uint64 `json:"spans,omitempty"`
+	SpansDropped uint64 `json:"spansDropped,omitempty"`
+	// Timeline point volume (0 unless -timeline-tick was on).
+	TimelinePoints  uint64 `json:"timelinePoints,omitempty"`
+	TimelineDropped uint64 `json:"timelineDropped,omitempty"`
 }
 
 // Stats reports the committed trace volume.
@@ -241,6 +327,14 @@ func (o *Observer) Stats() EventStats {
 		s.Seen += t.Seen()
 		s.Buffered += uint64(t.Len())
 		s.Dropped += t.Dropped()
+	}
+	for _, l := range o.lineages {
+		s.Spans += uint64(l.Len())
+		s.SpansDropped += l.Dropped()
+	}
+	for _, tl := range o.timelines {
+		s.TimelinePoints += uint64(tl.Len())
+		s.TimelineDropped += tl.Dropped()
 	}
 	return s
 }
@@ -266,4 +360,52 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		return writeChromeTraces(w, nil)
 	}
 	return writeChromeTraces(w, o.sortedTraces())
+}
+
+// sortedLineages returns the committed lineages ordered by label.
+func (o *Observer) sortedLineages() []*Lineage {
+	o.mu.Lock()
+	ls := make([]*Lineage, len(o.lineages))
+	copy(ls, o.lineages)
+	o.mu.Unlock()
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Label < ls[j].Label })
+	return ls
+}
+
+// WriteLineageJSONL flushes every committed lineage as JSON Lines, runs in
+// sorted label order, spans in creation order within a run — the same
+// determinism contract as WriteJSONL.
+func (o *Observer) WriteLineageJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	for _, l := range o.sortedLineages() {
+		if err := l.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimelineCSV flushes every committed timeline as one CSV document
+// (single header, runs in sorted label order, points in sampling order
+// within a run).
+func (o *Observer) WriteTimelineCSV(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, TimelineCSVHeader+"\n"); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	tls := make([]*Timeline, len(o.timelines))
+	copy(tls, o.timelines)
+	o.mu.Unlock()
+	sort.SliceStable(tls, func(i, j int) bool { return tls[i].Label < tls[j].Label })
+	for _, tl := range tls {
+		if err := tl.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

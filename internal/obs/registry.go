@@ -70,12 +70,17 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(bounds)+1
 	total   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-added
+	minBits atomic.Uint64 // float64 bits, CAS-min (seeded +Inf)
+	maxBits atomic.Uint64 // float64 bits, CAS-max (seeded -Inf)
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value.
@@ -86,6 +91,18 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.total.Add(1)
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
@@ -102,12 +119,24 @@ func (h *Histogram) Count() uint64 {
 	return h.total.Load()
 }
 
-// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// HistogramSnapshot is a point-in-time copy of a histogram's state. Sum,
+// Min and Max are exact (not bucket-midpoint estimates), so Sum/Total is
+// the true mean; Min/Max are 0 when Total is 0.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"` // len(Bounds)+1; last bucket is overflow
 	Total  uint64    `json:"total"`
 	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// Mean returns the exact mean of observed values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Total)
 }
 
 // Snapshot copies the histogram state. Concurrent Observe calls may land
@@ -122,6 +151,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Counts: make([]uint64, len(h.counts)),
 		Total:  h.total.Load(),
 		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	if s.Total > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()

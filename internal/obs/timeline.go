@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Timeline samples run-local series on a simulated-time tick. Like
+// RunTrace it is single-goroutine and nil-safe. It deliberately samples
+// engine-local quantities (freshness ratio, counts the run itself owns)
+// rather than the process-wide metric registry: under a parallel sweep the
+// registry interleaves all concurrent runs, so mid-run registry snapshots
+// would depend on worker scheduling. The registry is instead exported once
+// at the end (see WriteOpenMetrics), when its totals are deterministic.
+type Timeline struct {
+	Label string
+
+	points  []TimelinePoint
+	cap     int
+	dropped uint64
+}
+
+// TimelinePoint is one sampled value: series name, optional node/item
+// coordinates (-1 = not applicable), value at simulated time T.
+type TimelinePoint struct {
+	T      float64
+	Series string
+	Node   int32
+	Item   int32
+	Val    float64
+}
+
+// DefaultTimelineCap bounds per-run point storage when no cap is given.
+const DefaultTimelineCap = 1 << 18
+
+// NewTimeline returns a timeline for one labelled run. capPoints < 1
+// selects DefaultTimelineCap.
+func NewTimeline(label string, capPoints int) *Timeline {
+	if capPoints < 1 {
+		capPoints = DefaultTimelineCap
+	}
+	return &Timeline{Label: label, cap: capPoints}
+}
+
+// Sample records one point; no-op on a nil timeline. Points past the cap
+// are dropped (drop-new) and counted.
+func (tl *Timeline) Sample(t float64, series string, node, item int32, val float64) {
+	if tl == nil {
+		return
+	}
+	if len(tl.points) >= tl.cap {
+		tl.dropped++
+		return
+	}
+	tl.points = append(tl.points, TimelinePoint{T: t, Series: series, Node: node, Item: item, Val: val})
+}
+
+// Len returns the number of stored points.
+func (tl *Timeline) Len() int {
+	if tl == nil {
+		return 0
+	}
+	return len(tl.points)
+}
+
+// Dropped returns how many points were discarded at the cap.
+func (tl *Timeline) Dropped() uint64 {
+	if tl == nil {
+		return 0
+	}
+	return tl.dropped
+}
+
+// Points returns the stored points in sampling order.
+func (tl *Timeline) Points() []TimelinePoint {
+	if tl == nil {
+		return nil
+	}
+	out := make([]TimelinePoint, len(tl.points))
+	copy(out, tl.points)
+	return out
+}
+
+// TimelineCSVHeader is the first line of every timeline CSV export.
+const TimelineCSVHeader = "run,t,series,node,item,value"
+
+// appendCSV appends one point as a CSV record. Series names never contain
+// commas or quotes (they are code-chosen identifiers), so no escaping.
+func appendTimelineCSV(dst []byte, label string, p TimelinePoint) []byte {
+	dst = append(dst, label...)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, p.T, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = append(dst, p.Series...)
+	dst = append(dst, ',')
+	if p.Node >= 0 {
+		dst = strconv.AppendInt(dst, int64(p.Node), 10)
+	}
+	dst = append(dst, ',')
+	if p.Item >= 0 {
+		dst = strconv.AppendInt(dst, int64(p.Item), 10)
+	}
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, p.Val, 'g', -1, 64)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// WriteCSV writes the points as CSV rows (no header — the Observer writes
+// one header for the whole file).
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	if tl == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, p := range tl.points {
+		line = appendTimelineCSV(line[:0], tl.Label, p)
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TimelineRecord is one parsed timeline CSV row.
+type TimelineRecord struct {
+	Run string
+	TimelinePoint
+}
+
+// ReadTimelineCSV parses a timeline CSV stream written by the Observer
+// (header line required).
+func ReadTimelineCSV(r io.Reader) ([]TimelineRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []TimelineRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if lineNo == 1 {
+			if string(line) != TimelineCSVHeader {
+				return nil, fmt.Errorf("timeline: unexpected header %q", line)
+			}
+			continue
+		}
+		parts := bytes.Split(line, []byte{','})
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("timeline line %d: want 6 fields, got %d", lineNo, len(parts))
+		}
+		rec := TimelineRecord{Run: string(parts[0]), TimelinePoint: TimelinePoint{Node: -1, Item: -1}}
+		t, err := strconv.ParseFloat(string(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeline line %d t: %w", lineNo, err)
+		}
+		rec.T = t
+		rec.Series = string(parts[2])
+		if len(parts[3]) > 0 {
+			v, err := strconv.ParseInt(string(parts[3]), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("timeline line %d node: %w", lineNo, err)
+			}
+			rec.Node = int32(v)
+		}
+		if len(parts[4]) > 0 {
+			v, err := strconv.ParseInt(string(parts[4]), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("timeline line %d item: %w", lineNo, err)
+			}
+			rec.Item = int32(v)
+		}
+		val, err := strconv.ParseFloat(string(parts[5]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeline line %d value: %w", lineNo, err)
+		}
+		rec.Val = val
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,10 +1,10 @@
 #!/usr/bin/env sh
 # Benchmark harness: regenerates the committed benchmark baseline
-# (BENCH_PR3.json) and runs the go-test micro/suite benchmarks with
+# (BENCH_PR7.json) and runs the go-test micro/suite benchmarks with
 # -benchmem for inspection.
 #
 # Usage:
-#   scripts/bench.sh [out.json]       # default BENCH_PR3.json
+#   scripts/bench.sh [out.json]       # default BENCH_PR7.json
 #
 # The JSON fields fall in two classes:
 #   - allocation counts (allocsPerContact, e2AllocsPerOp): deterministic
@@ -14,7 +14,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR7.json}"
 
 echo "== benchmark harness (cmd/experiments -benchjson) =="
 go run ./cmd/experiments -benchjson "$out" -seed 42

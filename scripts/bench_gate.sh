@@ -10,7 +10,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR3.json}"
+baseline="${1:-BENCH_PR7.json}"
 fresh="${2:-bench_fresh.json}"
 
 [ -f "$baseline" ] || { echo "no committed baseline $baseline"; exit 1; }
