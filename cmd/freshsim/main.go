@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"freshcache"
+	"freshcache/internal/core"
 	"freshcache/internal/expt"
 	"freshcache/internal/obs"
 )
@@ -374,6 +375,10 @@ func runReplicated(cfg replicatedConfig, baseOpts []freshcache.Option, observer 
 		Journal:    cfg.journal,
 		Ledger:     cfg.ledger,
 	}
+	// Replicates run sequentially (Parallel: 1), so one recycled state
+	// bundle serves every run: each replicate's metrics are extracted
+	// before the next simulation is built.
+	reuse := core.NewReuse()
 	res, err := s.Run(func(c expt.Cell) ([]float64, error) {
 		// The replicate semantics predate the sweep runner: replicate i
 		// simulates seed base+i, so existing invocations keep their numbers.
@@ -381,6 +386,7 @@ func runReplicated(cfg replicatedConfig, baseOpts []freshcache.Option, observer 
 		simSeed := cfg.baseSeed + int64(c.Replicate)
 		opts := append([]freshcache.Option{
 			freshcache.WithScheme(freshcache.SchemeName(cfg.scheme)),
+			freshcache.WithRunStateReuse(reuse),
 		}, baseOpts...)
 		// Applied last so it overrides the base -seed flag.
 		opts = append(opts, freshcache.WithSeed(simSeed))

@@ -149,6 +149,7 @@ type options struct {
 	obsLineage      *obs.Lineage
 	obsTimeline     *obs.Timeline
 	timelineTick    float64
+	reuse           *core.Reuse
 }
 
 // Option configures a Simulation.
@@ -476,6 +477,21 @@ func WithTimeline(tl *obs.Timeline, tick time.Duration) Option {
 	}
 }
 
+// WithRunStateReuse recycles worker-local engine state (simulator event
+// storage, scheme scratch arenas, plan buffers) from a previous
+// Simulation that used the same Reuse bundle. Intended for drivers that
+// run many simulations back-to-back on one goroutine (freshsim's -runs
+// mode, the sweep runner). Handing the bundle to a new Simulation
+// invalidates the previous one entirely — including its post-run
+// accessors (CachingNodes, RefreshTree) — so extract everything needed
+// from a run before building the next. Nil is allowed (no reuse).
+func WithRunStateReuse(r *core.Reuse) Option {
+	return func(o *options) error {
+		o.reuse = r
+		return nil
+	}
+}
+
 // WithSprayCopies sets the per-version copy budget of the spray-and-wait
 // scheme (default 8). Only meaningful with SchemeSprayAndWait.
 func WithSprayCopies(l int) Option {
@@ -582,6 +598,7 @@ func New(opts ...Option) (*Simulation, error) {
 		Lineage:         o.obsLineage,
 		Timeline:        o.obsTimeline,
 		TimelineTick:    o.timelineTick,
+		Reuse:           o.reuse,
 	}
 	if o.distributed {
 		cfg.Knowledge = core.KnowledgeDistributed

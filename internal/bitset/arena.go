@@ -1,0 +1,81 @@
+package bitset
+
+// Arena allocates Sets from reusable slabs so a worker running many
+// simulations back-to-back pays for set storage once instead of once per
+// run. New carves set headers and word storage out of block allocations;
+// Reset rewinds the arena wholesale so the next run reuses the same
+// blocks. Sets handed out before a Reset must not be used afterwards —
+// their storage is recycled.
+//
+// An Arena is not safe for concurrent use; sweep workers each own one.
+type Arena struct {
+	setBlocks [][]Set
+	setBlock  int
+	setOff    int
+
+	wordBlocks [][]uint64
+	wordBlock  int
+	wordOff    int
+}
+
+const (
+	arenaSetBlock  = 256  // Set headers per header slab
+	arenaWordBlock = 4096 // uint64 words per word slab
+)
+
+// New returns an empty set over the universe [0, n), carved from the
+// arena's slabs. The set behaves exactly like bitset.New's but its
+// storage is reclaimed by the next Arena.Reset.
+func (a *Arena) New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	s := a.nextSet()
+	*s = Set{words: a.words((n + wordBits - 1) / wordBits), n: n}
+	return s
+}
+
+// Reset rewinds the arena, invalidating every Set it has handed out and
+// making all slab storage available for reuse.
+func (a *Arena) Reset() {
+	a.setBlock, a.setOff = 0, 0
+	a.wordBlock, a.wordOff = 0, 0
+}
+
+func (a *Arena) nextSet() *Set {
+	for a.setBlock < len(a.setBlocks) && a.setOff >= len(a.setBlocks[a.setBlock]) {
+		a.setBlock++
+		a.setOff = 0
+	}
+	if a.setBlock >= len(a.setBlocks) {
+		a.setBlocks = append(a.setBlocks, make([]Set, arenaSetBlock))
+	}
+	s := &a.setBlocks[a.setBlock][a.setOff]
+	a.setOff++
+	return s
+}
+
+// words carves a zeroed k-word slice with capacity clamped to k, so Sets
+// cannot grow into a neighbour's storage.
+func (a *Arena) words(k int) []uint64 {
+	if k == 0 {
+		return nil
+	}
+	block := arenaWordBlock
+	if k > block {
+		block = k // oversized universe gets a dedicated block
+	}
+	for a.wordBlock < len(a.wordBlocks) && a.wordOff+k > len(a.wordBlocks[a.wordBlock]) {
+		a.wordBlock++
+		a.wordOff = 0
+	}
+	if a.wordBlock >= len(a.wordBlocks) {
+		a.wordBlocks = append(a.wordBlocks, make([]uint64, block))
+	}
+	w := a.wordBlocks[a.wordBlock][a.wordOff : a.wordOff+k : a.wordOff+k]
+	a.wordOff += k
+	for i := range w {
+		w[i] = 0
+	}
+	return w
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"freshcache/internal/cache"
@@ -237,6 +238,21 @@ type Config struct {
 	// TimelineTick is the sampling period in simulated seconds; <= 0
 	// selects the freshness-sampling default (measurement phase / 240).
 	TimelineTick float64
+	// ContactTimeline, when non-nil, is the pre-compiled contact timeline
+	// for Trace (network.CompileTimeline). Sweeps compile it once per
+	// trace and share it read-only across replicates and cells; nil
+	// compiles on the fly. Must match Trace's contacts exactly.
+	ContactTimeline []eventsim.StaticEvent
+	// Reuse, when non-nil, recycles worker-local run state (simulator
+	// storage, scheme scratch, plan buffers) from a previous engine on the
+	// same worker. The previous run must be fully finished — results
+	// extracted — before its Reuse is handed to a new engine.
+	Reuse *Reuse
+	// ReferenceScheduler routes pre-planned events through the dynamic
+	// heap instead of compiled static timelines. Dispatch order is
+	// identical by construction; the mode exists for the differential
+	// determinism tests and costs the old per-event heap overhead.
+	ReferenceScheduler bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -337,6 +353,13 @@ type Engine struct {
 	// malformed workloads cannot lose queries without a signal.
 	queryDrops int
 
+	// scratch is the run's allocation surface (recycled via Config.Reuse,
+	// transient otherwise); estObserveAll keeps the converged estimator
+	// learning past the epoch, needed only when periodic rebuilds will
+	// read it again.
+	scratch       *runScratch
+	estObserveAll bool
+
 	initErr error // deferred error from the epoch event
 }
 
@@ -346,9 +369,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	scratch := cfg.Reuse.acquire()
 	e := &Engine{
 		cfg:         cfg,
-		sim:         eventsim.New(),
+		sim:         scratch.sim,
+		scratch:     scratch,
 		collector:   metrics.New(),
 		book:        cache.NewQueryBook(cfg.Workload.Timeout),
 		stores:      make([]*cache.Store, cfg.Trace.N),
@@ -359,6 +384,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cContacts:   cfg.Metrics.Counter("engine/contacts"),
 		cDeliveries: cfg.Metrics.Counter("engine/deliveries"),
 		cQueryDrops: cfg.Metrics.Counter("engine/query_drops"),
+	}
+	if cfg.ReferenceScheduler {
+		e.sim.SetHeapOnly(true)
 	}
 	e.epoch = cfg.Trace.Duration * cfg.WarmupFraction
 	e.horizon = cfg.Trace.Duration
@@ -389,14 +417,22 @@ func (e *Engine) Run() (metrics.Result, error) {
 	if e.cfg.Knowledge == KnowledgeDistributed {
 		e.distEst = centrality.NewDistributedEstimator(e.cfg.Trace.N, 0)
 	}
+	// The converged estimator keeps learning past the epoch only when a
+	// periodic rebuild will read its counts again; otherwise the epoch
+	// snapshot is the last reader and post-epoch observation is dead work.
+	// Contacts at exactly the epoch run before the epoch event (lower seq)
+	// and land in its snapshot, so they always observe.
+	if e.cfg.RebuildInterval > 0 {
+		_, e.estObserveAll = e.cfg.Scheme.(Rebuilder)
+	}
 	e.net.Attach(network.HandlerFunc(func(c *network.Contact) {
 		if e.distEst != nil {
 			// Local views keep learning for the whole run, like real nodes.
 			e.distEst.Observe(c.A, c.B, c.Time)
 		}
-		// The converged estimator also keeps learning, so periodic
-		// rebuilds see post-warmup contacts (and drift).
-		estimator.Observe(c.A, c.B)
+		if e.estObserveAll || c.Time <= e.epoch {
+			estimator.Observe(c.A, c.B)
+		}
 		if c.Time < e.epoch {
 			return
 		}
@@ -431,7 +467,7 @@ func (e *Engine) Run() (metrics.Result, error) {
 			}
 		})
 	}
-	if err := e.net.Schedule(); err != nil {
+	if err := e.net.ScheduleCompiled(e.cfg.ContactTimeline); err != nil {
 		return metrics.Result{}, err
 	}
 
@@ -617,31 +653,24 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 		}
 	}
 
+	// Everything below is known in full at the epoch, so instead of one
+	// heap insertion (and one closure) per event it is compiled into a
+	// single static plan and attached as one timeline. Actions are
+	// appended in the exact order the heap schedule used to be built —
+	// generations (item-major, then version), freshness samples, timeline
+	// ticks, query issues — and the StaticEvent projection is sorted with
+	// a stable sort, so equal-time actions keep that order and the merged
+	// dispatch sequence is bit-for-bit what per-event scheduling produced.
+	plan := e.scratch.plan[:0]
+
 	// Version generation events.
-	for _, it := range e.cfg.Catalog.Items() {
-		it := it
+	for idx, it := range e.cfg.Catalog.View() {
 		for v := 0; ; v++ {
 			at := cache.VersionTime(it, e.rt.Epoch, v)
 			if at >= e.horizon {
 				break
 			}
-			v := v
-			if _, err := e.sim.ScheduleAt(at, func(tnow float64) {
-				e.collector.RecordGeneration()
-				if e.obsTrace != nil {
-					e.obsTrace.Emit(obs.Event{
-						T: tnow, Kind: obs.KindGenerate,
-						A: int32(it.Source), B: -1, Item: int32(it.ID), Ver: int32(v),
-					})
-				}
-				// The root span exists before the scheme sees the version,
-				// so every duty/handoff the scheme records can parent on it
-				// via Lin.Root.
-				e.lineage.Generate(tnow, int32(it.ID), int32(v), int32(it.Source))
-				e.cfg.Scheme.OnGenerate(it, v, tnow)
-			}); err != nil {
-				return err
-			}
+			plan = append(plan, planAction{time: at, op: opGenerate, item: int32(idx), ver: int32(v)})
 		}
 	}
 
@@ -651,15 +680,11 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 		interval = (e.horizon - e.rt.Epoch) / 240
 	}
 	for t := e.rt.Epoch + interval; t < e.horizon; t += interval {
-		if _, err := e.sim.ScheduleAt(t, func(tnow float64) {
-			e.collector.RecordSample(tnow, e.freshnessRatio(tnow))
-		}); err != nil {
-			return err
-		}
+		plan = append(plan, planAction{time: t, op: opSample})
 	}
 
-	// Telemetry timeline: scheduled only when a sampler is attached, so
-	// the timeline-off event count (and thus determinism baselines) are
+	// Telemetry timeline: planned only when a sampler is attached, so the
+	// timeline-off event count (and thus determinism baselines) are
 	// untouched.
 	if e.timeline != nil {
 		tick := e.cfg.TimelineTick
@@ -667,11 +692,7 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 			tick = (e.horizon - e.rt.Epoch) / 240
 		}
 		for t := e.rt.Epoch + tick; t < e.horizon; t += tick {
-			if _, err := e.sim.ScheduleAt(t, func(tnow float64) {
-				e.sampleTimeline(tnow)
-			}); err != nil {
-				return err
-			}
+			plan = append(plan, planAction{time: t, op: opTimeline})
 		}
 	}
 
@@ -683,15 +704,47 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 		}
 		e.queries = qs
 		for _, q := range qs {
-			q := q
-			if _, err := e.sim.ScheduleAt(q.IssuedAt, func(tnow float64) {
-				e.issueQuery(q, tnow)
-			}); err != nil {
-				return err
-			}
+			plan = append(plan, planAction{time: q.IssuedAt, op: opQuery, q: q})
 		}
 	}
+
+	events := e.scratch.planEvents[:0]
+	for i := range plan {
+		events = append(events, eventsim.StaticEvent{Time: plan[i].time, Arg: int32(i)})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	e.scratch.plan, e.scratch.planEvents = plan, events
+	if err := e.sim.AttachTimeline(events, e.runPlanAction); err != nil {
+		return err
+	}
 	return nil
+}
+
+// runPlanAction dispatches one entry of the compiled measurement plan.
+func (e *Engine) runPlanAction(arg int32, now float64) {
+	a := &e.scratch.plan[arg]
+	switch a.op {
+	case opGenerate:
+		it := e.cfg.Catalog.View()[a.item]
+		e.collector.RecordGeneration()
+		if e.obsTrace != nil {
+			e.obsTrace.Emit(obs.Event{
+				T: now, Kind: obs.KindGenerate,
+				A: int32(it.Source), B: -1, Item: int32(it.ID), Ver: a.ver,
+			})
+		}
+		// The root span exists before the scheme sees the version, so
+		// every duty/handoff the scheme records can parent on it via
+		// Lin.Root.
+		e.lineage.Generate(now, int32(it.ID), a.ver, int32(it.Source))
+		e.cfg.Scheme.OnGenerate(it, int(a.ver), now)
+	case opSample:
+		e.collector.RecordSample(now, e.freshnessRatio(now))
+	case opTimeline:
+		e.sampleTimeline(now)
+	case opQuery:
+		e.issueQuery(a.q, now)
+	}
 }
 
 // store returns the node's cache store, or nil for non-caching nodes and

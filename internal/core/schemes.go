@@ -238,7 +238,7 @@ func (s *refreshScheme) Init(rt *Runtime) error {
 	s.duties = make([][]*duty, s.n)
 	s.dutyCount = make([]int, s.n)
 	s.relays = make([][]*relayEntry, s.n)
-	s.scratch = bitset.New(s.n)
+	s.scratch = rt.newSet()
 	s.lin = rt.Lin
 	s.copySpan = nil
 	if s.lin != nil {
@@ -434,12 +434,13 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 			return // already responsible for this or a newer version
 		}
 	}
-	d := &duty{
+	d := s.rt.newDuty()
+	*d = duty{
 		key:    copyKey{item: it.ID, version: version},
 		genAt:  genAt,
 		window: it.FreshnessWindow,
 		ttl:    it.Lifetime,
-		dests:  bitset.New(s.n),
+		dests:  s.rt.newSet(),
 	}
 	ndests := 0
 	for _, c := range children {
@@ -501,12 +502,12 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 				}
 				if len(plan.Relays) > 0 {
 					if d.relayFor == nil {
-						d.relayFor = make([]*bitset.Set, s.n)
+						d.relayFor = s.rt.setRow()
 					}
 					for _, r := range plan.Relays {
 						rf := d.relayFor[r]
 						if rf == nil {
-							rf = bitset.New(s.n)
+							rf = s.rt.newSet()
 							d.relayFor[r] = rf
 						}
 						rf.Add(dest)
@@ -517,7 +518,7 @@ func (s *refreshScheme) assumeDuty(holder trace.NodeID, it cache.Item, version i
 	}
 
 	if row == nil {
-		row = make([]*duty, len(s.items))
+		row = s.rt.dutyRow(len(s.items))
 		s.duties[holder] = row
 	}
 	if row[it.ID] == nil {
@@ -688,14 +689,15 @@ func (s *refreshScheme) giveToRelay(c *network.Contact, holder, relay trace.Node
 	if cap := s.rt.RelayBufferCap; cap > 0 && len(buf) >= cap {
 		buf = evictRelayEntry(buf)
 	}
-	entry := &relayEntry{
+	entry := s.rt.newRelayEntry()
+	*entry = relayEntry{
 		key:   d.key,
 		genAt: d.genAt,
 		// Copies stay deliverable while the data is still valid, not
 		// just while the on-time window is open: a late refresh beats
 		// no refresh.
 		expire: d.genAt + d.ttl,
-		dests:  bitset.New(s.n),
+		dests:  s.rt.newSet(),
 		span:   s.lin.Handoff(c.Time, d.span, int32(holder), int32(relay), int32(d.key.item), int32(d.key.version)),
 	}
 	entry.dests.Or(live)

@@ -3,9 +3,25 @@
 // simulated time with deterministic tie-breaking, so that two runs with
 // the same seed produce byte-identical results.
 //
+// The future-event list is split into two streams:
+//
+//   - compiled static timelines ([]StaticEvent): flat, pre-sorted arrays
+//     of events known before the run starts (trace contacts, pre-planned
+//     query issues, measurement ticks), replayed by cursor with zero heap
+//     operations and zero per-event closures;
+//   - a binary min-heap holding only truly dynamic events (refresh
+//     deliveries, duty timers, epoch rebuilds) scheduled while the
+//     simulation runs.
+//
+// Both streams are merged at dispatch time on the exact (time, seq)
+// ordering a single heap would produce: AttachTimeline consumes one
+// contiguous block of sequence numbers, so equal-time ties between static
+// and dynamic events resolve identically to scheduling every static event
+// through ScheduleAt at the attach point.
+//
 // Simulated time is a float64 number of seconds from the start of the
 // scenario. The engine knows nothing about contacts, caches or protocols;
-// higher layers schedule closures.
+// higher layers schedule closures or attach timelines.
 package eventsim
 
 import (
@@ -18,9 +34,32 @@ import (
 // and may schedule further events.
 type Handler func(now float64)
 
-// event is a single future-event-list entry. Events are pooled: once
-// popped or canceled, the struct is recycled for a later ScheduleAt, so a
-// long run allocates O(peak pending) events rather than O(processed).
+// StaticEvent is one entry of a compiled timeline: an absolute simulated
+// time plus an opaque payload handed back to the timeline's dispatch
+// function. Timelines are immutable once attached, so one compiled
+// timeline can be shared read-only across concurrent simulators.
+type StaticEvent struct {
+	Time float64
+	Arg  int32
+}
+
+// Dispatch executes one static event. It receives the event's Arg and the
+// current simulated time, and may schedule dynamic events.
+type Dispatch func(arg int32, now float64)
+
+// timeline is one attached static stream: a cursor over a pre-sorted
+// event array plus the contiguous sequence-number block reserved at
+// attach time (seq of events[i] is seqBase+i).
+type timeline struct {
+	events   []StaticEvent
+	dispatch Dispatch
+	seqBase  uint64
+	cursor   int
+}
+
+// event is a single dynamic future-event-list entry. Events are pooled:
+// once popped or canceled, the struct is recycled for a later ScheduleAt,
+// so a long run allocates O(peak pending) events rather than O(processed).
 type event struct {
 	time    float64
 	seq     uint64 // insertion order; breaks time ties deterministically
@@ -82,9 +121,14 @@ func (q *eventQueue) Pop() any {
 type Simulator struct {
 	now     float64
 	queue   eventQueue
+	streams []timeline
 	nextSeq uint64
 	running bool
 	stopped bool
+	// heapOnly forces AttachTimeline to fall back to per-event ScheduleAt,
+	// turning the simulator into the single-heap reference implementation
+	// the differential determinism tests compare against.
+	heapOnly bool
 	// free holds recycled event structs for reuse by ScheduleAt.
 	free []*event
 	// processed counts events executed, for diagnostics and scalability
@@ -97,8 +141,9 @@ type Simulator struct {
 }
 
 // SetProcessedHook installs f to be called after every executed event with
-// the cumulative processed count and the current queue depth. Pass nil to
-// remove. Observability layers use this to sample event-queue depth.
+// the cumulative processed count and the current pending count (dynamic
+// heap plus remaining static-timeline events). Pass nil to remove.
+// Observability layers use this to sample event-queue depth.
 func (s *Simulator) SetProcessedHook(f func(processed uint64, pending int)) {
 	s.onProcessed = f
 }
@@ -107,6 +152,18 @@ func (s *Simulator) SetProcessedHook(f func(processed uint64, pending int)) {
 // list.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// SetHeapOnly switches the simulator into single-heap reference mode:
+// AttachTimeline schedules every static event through ScheduleAt instead
+// of installing a cursor stream. Dispatch order is identical by
+// construction; the mode exists so differential tests can assert that.
+// Must be called before any timeline is attached.
+func (s *Simulator) SetHeapOnly(v bool) {
+	if len(s.streams) > 0 {
+		panic("eventsim: SetHeapOnly after AttachTimeline")
+	}
+	s.heapOnly = v
 }
 
 // Now returns the current simulated time. During an event handler this is
@@ -119,20 +176,83 @@ func (s *Simulator) Now() float64 { return s.now }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Scheduled reports how many events have ever been scheduled (executed,
-// still pending, or canceled). Together with Processed it bounds how much
-// scheduled work a run abandoned at the horizon.
+// still pending, or canceled), counting every static-timeline entry at
+// its attach point. Together with Processed it bounds how much scheduled
+// work a run abandoned at the horizon.
 func (s *Simulator) Scheduled() uint64 { return s.nextSeq }
 
-// Pending reports how many events are currently scheduled.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending reports how many events are currently scheduled: the dynamic
+// heap plus all static-timeline events the cursors have not yet replayed.
+func (s *Simulator) Pending() int {
+	n := s.queue.Len()
+	for i := range s.streams {
+		n += len(s.streams[i].events) - s.streams[i].cursor
+	}
+	return n
+}
 
 // ErrPastEvent is returned when an event is scheduled before the current
 // simulated time.
 var ErrPastEvent = errors.New("eventsim: event scheduled in the past")
 
+// ErrUnsorted is returned when a timeline's events are not sorted by
+// non-decreasing time.
+var ErrUnsorted = errors.New("eventsim: timeline not sorted by time")
+
+// AttachTimeline installs a compiled static timeline. Events must be
+// sorted by non-decreasing Time, with the first event no earlier than the
+// current simulated time. The attach consumes one contiguous block of
+// len(events) sequence numbers, so dispatch order — including equal-time
+// ties against dynamic events and other timelines — is exactly what
+// scheduling each event through ScheduleAt here would produce.
+//
+// The events slice is retained and read during Run; it must not be
+// mutated afterwards. Sharing one slice across simulators is safe.
+func (s *Simulator) AttachTimeline(events []StaticEvent, dispatch Dispatch) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if dispatch == nil {
+		return errors.New("eventsim: nil timeline dispatch")
+	}
+	if events[0].Time < s.now {
+		return fmt.Errorf("%w: t=%v now=%v", ErrPastEvent, events[0].Time, s.now)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			return fmt.Errorf("%w: events[%d]=%v after events[%d]=%v",
+				ErrUnsorted, i-1, events[i-1].Time, i, events[i].Time)
+		}
+	}
+	if s.heapOnly {
+		// Reference mode: feed the heap one event at a time. Events fire
+		// in (time, seq) = slice order, so a single cursor closure
+		// suffices and Arg delivery matches the streamed path.
+		cursor := 0
+		h := func(now float64) {
+			arg := events[cursor].Arg
+			cursor++
+			dispatch(arg, now)
+		}
+		for i := range events {
+			if _, err := s.ScheduleAt(events[i].Time, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s.streams = append(s.streams, timeline{
+		events:   events,
+		dispatch: dispatch,
+		seqBase:  s.nextSeq,
+	})
+	s.nextSeq += uint64(len(events))
+	return nil
+}
+
 // eventSlabSize is how many event structs one pool refill allocates.
-// Bulk-scheduled workloads (trace replay enqueues every contact upfront)
-// then cost one allocation per slab instead of one per event.
+// Bulk-scheduled workloads then cost one allocation per slab instead of
+// one per event.
 const eventSlabSize = 64
 
 // alloc returns an event struct ready for scheduling, recycled when
@@ -188,8 +308,9 @@ func (s *Simulator) ScheduleAfter(delay float64, h Handler) (EventID, error) {
 	return s.ScheduleAt(s.now+delay, h)
 }
 
-// Cancel removes a scheduled event. Canceling an already-executed or
-// already-canceled event is a no-op and returns false.
+// Cancel removes a scheduled dynamic event. Canceling an already-executed
+// or already-canceled event is a no-op and returns false. Static-timeline
+// events cannot be canceled.
 func (s *Simulator) Cancel(id EventID) bool {
 	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
@@ -204,10 +325,41 @@ func (s *Simulator) Cancel(id EventID) bool {
 // to be called from inside a handler.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// Reset rewinds the simulator to time zero with an empty event list so a
+// worker can reuse it for the next run: pending dynamic events are
+// recycled into the slab pool (keeping event storage and heap capacity
+// warm), attached timelines are detached, and the seq/processed counters
+// restart. The processed hook is cleared. Reset must not be called from
+// inside a running handler.
+func (s *Simulator) Reset() {
+	if s.running {
+		panic("eventsim: Reset during Run")
+	}
+	for _, ev := range s.queue {
+		ev.index = -1
+		s.recycle(ev)
+	}
+	s.queue = s.queue[:0]
+	for i := range s.streams {
+		s.streams[i] = timeline{}
+	}
+	s.streams = s.streams[:0]
+	s.now = 0
+	s.nextSeq = 0
+	s.processed = 0
+	s.stopped = false
+	s.heapOnly = false
+	s.onProcessed = nil
+}
+
 // Run executes events in time order until the event list is empty, an
 // event beyond `until` is reached (that event stays queued), or Stop is
 // called. It returns the final simulated time, which is `until` when the
 // horizon was reached.
+//
+// Each iteration compares the earliest static-cursor head against the
+// heap top on (time, seq); the contiguous seq blocks reserved at attach
+// time make that comparison reproduce single-heap order exactly.
 func (s *Simulator) Run(until float64) (float64, error) {
 	if s.running {
 		return s.now, errors.New("eventsim: Run called re-entrantly")
@@ -216,8 +368,46 @@ func (s *Simulator) Run(until float64) (float64, error) {
 	s.stopped = false
 	defer func() { s.running = false }()
 
-	for s.queue.Len() > 0 && !s.stopped {
-		next := s.queue[0]
+	for !s.stopped {
+		// Earliest static head across attached timelines. Scenario runs
+		// attach at most a handful of streams, so a linear scan beats any
+		// index structure here.
+		var st *timeline
+		var stTime float64
+		var stSeq uint64
+		for i := range s.streams {
+			t := &s.streams[i]
+			if t.cursor >= len(t.events) {
+				continue
+			}
+			ht := t.events[t.cursor].Time
+			hs := t.seqBase + uint64(t.cursor)
+			if st == nil || ht < stTime || (ht == stTime && hs < stSeq) {
+				st, stTime, stSeq = t, ht, hs
+			}
+		}
+		var next *event
+		if len(s.queue) > 0 {
+			next = s.queue[0]
+		}
+		if st == nil && next == nil {
+			break
+		}
+		if st != nil && (next == nil || stTime < next.time || (stTime == next.time && stSeq < next.seq)) {
+			if stTime > until {
+				s.now = until
+				return s.now, nil
+			}
+			arg := st.events[st.cursor].Arg
+			st.cursor++
+			s.now = stTime
+			s.processed++
+			st.dispatch(arg, s.now)
+			if s.onProcessed != nil {
+				s.onProcessed(s.processed, s.Pending())
+			}
+			continue
+		}
 		if next.time > until {
 			s.now = until
 			return s.now, nil
@@ -235,7 +425,7 @@ func (s *Simulator) Run(until float64) (float64, error) {
 		s.recycle(popped)
 		h(s.now)
 		if s.onProcessed != nil {
-			s.onProcessed(s.processed, s.queue.Len())
+			s.onProcessed(s.processed, s.Pending())
 		}
 	}
 	if s.now < until && !s.stopped {

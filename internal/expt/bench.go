@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"freshcache/internal/core"
@@ -22,9 +23,14 @@ type BenchReport struct {
 	Seed   int64  `json:"seed"`
 	Preset string `json:"preset"`
 
+	// TimingMethod documents how the ns fields were sampled (currently
+	// "median-of-5": each section runs BenchRounds times and the median
+	// round is recorded, so gate verdicts aren't single-sample coin
+	// flips). Allocation fields are identical every round.
+	TimingMethod string `json:"timingMethod"`
+
 	// Per-contact cost of one end-to-end run of the paper's scheme
-	// (hierarchical, default scenario): the protocol hot path. Best of
-	// BenchRounds rounds for ns; allocations are identical every round.
+	// (hierarchical, default scenario): the protocol hot path.
 	Contacts         int     `json:"contacts"`
 	NsPerContact     float64 `json:"nsPerContact"`
 	AllocsPerContact float64 `json:"allocsPerContact"`
@@ -40,11 +46,30 @@ type BenchReport struct {
 }
 
 // BenchSchema identifies the report layout for downstream tooling.
-const BenchSchema = "freshcache-bench/1"
+// Version 2 added timingMethod and switched ns sampling from best-of-3 to
+// median-of-5.
+const BenchSchema = "freshcache-bench/2"
 
 // BenchRounds is how many times each benchmark section repeats; ns fields
-// report the best round.
-const BenchRounds = 3
+// report the median round (see BenchTimingMethod).
+const BenchRounds = 5
+
+// BenchTimingMethod is the recorded sampling method for timing fields.
+const BenchTimingMethod = "median-of-5"
+
+// median returns the middle sample (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
 
 // memDelta runs f and returns (elapsed, mallocs, bytes) attributed to it.
 // The process must be otherwise idle (the harness is single-threaded).
@@ -61,7 +86,7 @@ func memDelta(f func() error) (time.Duration, uint64, uint64, error) {
 
 // RunBench measures the harness's two sections and assembles the report.
 func RunBench(seed int64) (BenchReport, error) {
-	rep := BenchReport{Schema: BenchSchema, Seed: seed, Preset: "reality-like"}
+	rep := BenchReport{Schema: BenchSchema, Seed: seed, Preset: "reality-like", TimingMethod: BenchTimingMethod}
 
 	// Section 1: per-contact cost of one hierarchical run.
 	gen, err := mobility.Preset(rep.Preset)
@@ -73,6 +98,7 @@ func RunBench(seed int64) (BenchReport, error) {
 		return rep, err
 	}
 	sc := defaultScenario(rep.Preset, seed)
+	nsSamples := make([]float64, 0, BenchRounds)
 	for round := 0; round < BenchRounds; round++ {
 		var eng *core.Engine
 		elapsed, mallocs, bytes, err := memDelta(func() error {
@@ -87,15 +113,13 @@ func RunBench(seed int64) (BenchReport, error) {
 		if contacts == 0 {
 			return rep, fmt.Errorf("bench run dispatched no contacts")
 		}
-		ns := float64(elapsed.Nanoseconds()) / float64(contacts)
-		if round == 0 || ns < rep.NsPerContact {
-			rep.NsPerContact = ns
-		}
+		nsSamples = append(nsSamples, float64(elapsed.Nanoseconds())/float64(contacts))
 		// Deterministic run → identical allocations every round.
 		rep.Contacts = contacts
 		rep.AllocsPerContact = float64(mallocs) / float64(contacts)
 		rep.BytesPerContact = float64(bytes) / float64(contacts)
 	}
+	rep.NsPerContact = median(nsSamples)
 
 	// Section 2: one quick-mode E2 experiment (what CI's benchmark job
 	// runs), for whole-sweep cost and throughput.
@@ -103,6 +127,7 @@ func RunBench(seed int64) (BenchReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	nsSamples = nsSamples[:0]
 	for round := 0; round < BenchRounds; round++ {
 		rs := metrics.NewRunStats()
 		elapsed, mallocs, bytes, err := memDelta(func() error {
@@ -112,16 +137,14 @@ func RunBench(seed int64) (BenchReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("bench E2: %w", err)
 		}
-		ns := float64(elapsed.Nanoseconds())
-		if round == 0 || ns < rep.E2NsPerOp {
-			rep.E2NsPerOp = ns
-			if s := elapsed.Seconds(); s > 0 {
-				rep.CellsPerSec = float64(rs.Runs()) / s
-			}
-		}
+		nsSamples = append(nsSamples, float64(elapsed.Nanoseconds()))
 		rep.E2Cells = rs.Runs()
 		rep.E2AllocsPerOp = float64(mallocs)
 		rep.E2BytesPerOp = float64(bytes)
+	}
+	rep.E2NsPerOp = median(nsSamples)
+	if rep.E2NsPerOp > 0 {
+		rep.CellsPerSec = float64(rep.E2Cells) / (rep.E2NsPerOp / 1e9)
 	}
 	return rep, nil
 }

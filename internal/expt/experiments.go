@@ -2,8 +2,10 @@ package expt
 
 import (
 	"fmt"
+	"sync"
 
 	"freshcache/internal/core"
+	"freshcache/internal/eventsim"
 	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
 	"freshcache/internal/obs"
@@ -53,6 +55,10 @@ type Options struct {
 	// KeepGoing runs sweeps in degradation mode: cell failures no longer
 	// abort the grid; failed cells become explicit NA table holes.
 	KeepGoing bool
+	// ReferenceScheduler runs every cell on the single-heap reference
+	// event core instead of the two-stream scheduler. Differential
+	// determinism tests only — it is strictly slower.
+	ReferenceScheduler bool
 }
 
 // record folds one run's result into the optional stats accumulator.
@@ -146,6 +152,42 @@ func genTrace(preset string, seed int64) (*trace.Trace, error) {
 	return sharedTraces.Get(preset, TraceSeedFor(seed, 0))
 }
 
+// genTraceCompiled is genTrace plus the shared compiled contact timeline.
+func genTraceCompiled(preset string, seed int64) (*trace.Trace, []eventsim.StaticEvent, error) {
+	return sharedTraces.GetCompiled(preset, TraceSeedFor(seed, 0))
+}
+
+// reusePool recycles worker-local engine state (simulator storage, scheme
+// scratch arenas, plan buffers) across the sweep cells a worker runs
+// back-to-back. Cells finish extracting their metrics before the Reuse
+// returns to the pool, so a recycled bundle never aliases a live run.
+//
+// A plain free list (not sync.Pool) on purpose: it never drops bundles on
+// GC, so the allocation count of a sequential sweep is exactly one bundle
+// — deterministic, which the CI bench gate relies on. The list never
+// holds more bundles than the peak worker count.
+var reusePool struct {
+	mu   sync.Mutex
+	free []*core.Reuse
+}
+
+func getReuse() *core.Reuse {
+	reusePool.mu.Lock()
+	defer reusePool.mu.Unlock()
+	if n := len(reusePool.free); n > 0 {
+		r := reusePool.free[n-1]
+		reusePool.free = reusePool.free[:n-1]
+		return r
+	}
+	return core.NewReuse()
+}
+
+func putReuse(r *core.Reuse) {
+	reusePool.mu.Lock()
+	defer reusePool.mu.Unlock()
+	reusePool.free = append(reusePool.free, r)
+}
+
 // refreshSweep returns the refresh-interval sweep appropriate for a
 // trace's density (the paper picks trace-appropriate ranges too).
 func refreshSweep(preset string, quick bool) []float64 {
@@ -232,7 +274,7 @@ func runE1(opts Options) ([]*Table, error) {
 // the cell's sweep point, runs the cell's scheme, records run statistics,
 // and extracts the metric vector.
 func runSweepCell(opts Options, c Cell, mutate func(sc *Scenario), extract func(res metrics.Result, eng *core.Engine) []float64) ([]float64, error) {
-	tr, err := genTrace(c.Preset, c.TraceSeed)
+	tr, tl, err := genTraceCompiled(c.Preset, c.TraceSeed)
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +286,11 @@ func runSweepCell(opts Options, c Cell, mutate func(sc *Scenario), extract func(
 	if err != nil {
 		return nil, err
 	}
+	sc.ContactTimeline = tl
+	sc.ReferenceScheduler = opts.ReferenceScheduler
+	reuse := getReuse()
+	defer putReuse(reuse)
+	sc.Reuse = reuse
 	res, eng, err := opts.runScenario(cellLabel(c), sc, scheme, tr)
 	if err != nil {
 		return nil, err

@@ -125,6 +125,7 @@ func runExtCell(opts Options, c Cell, mutate func(*core.Config)) (metrics.Result
 	res, err := runExtOn(tr, c.Seed, c.Scheme, func(cfg *core.Config) {
 		cfg.Obs = rt
 		cfg.Metrics = opts.Obs.Registry()
+		cfg.ReferenceScheduler = opts.ReferenceScheduler
 		if mutate != nil {
 			mutate(cfg)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"freshcache/internal/cache"
 	"freshcache/internal/core"
+	"freshcache/internal/eventsim"
 	"freshcache/internal/metrics"
 	"freshcache/internal/mobility"
 	"freshcache/internal/obs"
@@ -35,6 +36,18 @@ type Scenario struct {
 	Lineage      *obs.Lineage
 	Timeline     *obs.Timeline
 	TimelineTick float64
+
+	// ContactTimeline is the pre-compiled contact timeline for the trace
+	// handed to RunOnTrace (network.CompileTimeline); nil compiles on the
+	// fly. Sweeps thread the TraceCache's shared copy here.
+	ContactTimeline []eventsim.StaticEvent
+	// Reuse recycles worker-local engine state across consecutive runs
+	// (see core.Reuse). Only set when the engine is not inspected after
+	// the run's results have been extracted.
+	Reuse *core.Reuse
+	// ReferenceScheduler forces the single-heap reference event core
+	// (differential determinism tests only).
+	ReferenceScheduler bool
 }
 
 // defaultScenario is the base point of every sweep, matching the paper
@@ -123,6 +136,10 @@ func (sc Scenario) RunOnTrace(scheme core.Scheme, tr *trace.Trace) (metrics.Resu
 		Lineage:         sc.Lineage,
 		Timeline:        sc.Timeline,
 		TimelineTick:    sc.TimelineTick,
+
+		ContactTimeline:    sc.ContactTimeline,
+		Reuse:              sc.Reuse,
+		ReferenceScheduler: sc.ReferenceScheduler,
 	}
 	if sc.QueryRate > 0 {
 		cfg.Workload = cache.WorkloadConfig{QueryRate: sc.QueryRate, ZipfExponent: 1.0}

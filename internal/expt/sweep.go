@@ -9,7 +9,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"freshcache/internal/eventsim"
 	"freshcache/internal/mobility"
+	"freshcache/internal/network"
 	"freshcache/internal/obs"
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
@@ -478,6 +480,12 @@ type traceEntry struct {
 	once sync.Once
 	tr   *trace.Trace
 	err  error
+	// tlOnce/tl lazily compile the trace's static contact timeline
+	// (network.CompileTimeline) the first time a caller asks for it; the
+	// compiled slice is immutable and shared read-only across every
+	// replicate and sweep cell replaying the trace.
+	tlOnce sync.Once
+	tl     []eventsim.StaticEvent
 }
 
 // NewTraceCache returns an empty cache.
@@ -501,18 +509,52 @@ func (c *TraceCache) Get(preset string, seed int64) (*trace.Trace, error) {
 // once per key to produce it. The caller promises gen is deterministic for
 // the key and that the returned trace is never mutated.
 func (c *TraceCache) GetFunc(key string, seed int64, gen func(seed int64) (*trace.Trace, error)) (*trace.Trace, error) {
+	e := c.entry(key, seed)
+	e.once.Do(func() {
+		e.tr, e.err = gen(seed)
+	})
+	return e.tr, e.err
+}
+
+// GetFuncCompiled is GetFunc plus the trace's compiled static contact
+// timeline, compiled exactly once per cache entry and shared read-only —
+// so a sweep pays the O(contacts) compile once per (trace, seed) instead
+// of once per cell.
+func (c *TraceCache) GetFuncCompiled(key string, seed int64, gen func(seed int64) (*trace.Trace, error)) (*trace.Trace, []eventsim.StaticEvent, error) {
+	e := c.entry(key, seed)
+	e.once.Do(func() {
+		e.tr, e.err = gen(seed)
+	})
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	e.tlOnce.Do(func() {
+		e.tl = network.CompileTimeline(e.tr)
+	})
+	return e.tr, e.tl, nil
+}
+
+// GetCompiled is Get plus the shared compiled contact timeline.
+func (c *TraceCache) GetCompiled(preset string, seed int64) (*trace.Trace, []eventsim.StaticEvent, error) {
+	return c.GetFuncCompiled(preset, seed, func(seed int64) (*trace.Trace, error) {
+		g, err := mobility.Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		return g.Generate(seed)
+	})
+}
+
+func (c *TraceCache) entry(key string, seed int64) *traceEntry {
 	k := traceKey{name: key, seed: seed}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
 		e = &traceEntry{}
 		c.entries[k] = e
 	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		e.tr, e.err = gen(seed)
-	})
-	return e.tr, e.err
+	return e
 }
 
 // Len reports how many traces the cache holds (including failed entries).

@@ -22,7 +22,9 @@ import (
 
 // Handler is a protocol attached to the network. OnContact is invoked once
 // per contact, at the contact's start time; both directions of exchange
-// happen inside the single callback via Contact.Send.
+// happen inside the single callback via Contact.Send. The *Contact is
+// valid only for the duration of the callback — the network reuses the
+// struct for the next contact, so handlers must not retain the pointer.
 type Handler interface {
 	OnContact(c *Contact)
 }
@@ -115,9 +117,11 @@ type Net struct {
 	lossRNG *rand.Rand    // non-nil when DropProb > 0
 	avail   *availability // non-nil when churn is enabled
 
-	// cursor is the index of the next contact to dispatch during trace
-	// replay (see Schedule).
-	cursor int
+	// live is the scratch Contact reused across dispatches. Handlers run
+	// synchronously and must not retain the pointer (see Handler), so one
+	// struct per Net replaces the per-contact allocation that used to
+	// dominate trace replay.
+	live Contact
 }
 
 // New creates a network over the given trace, driven by sim. The trace
@@ -165,27 +169,50 @@ func (n *Net) Attach(h Handler) {
 	n.handlers = append(n.handlers, h)
 }
 
-// Schedule enqueues every contact of the trace into the simulator. Call
-// once, before running the simulator.
-//
-// Contacts are sorted by start time (trace.Validate) and equal-time
-// events run in scheduling order, so the contact events fire exactly in
-// index order. That lets every contact share ONE handler closure that
-// walks a cursor, instead of a per-contact closure capturing its contact
-// — the dominant allocation of trace replay.
-func (n *Net) Schedule() error {
-	n.cursor = 0
-	h := func(now float64) {
-		c := n.tr.Contacts[n.cursor]
-		n.cursor++
-		n.dispatch(c, now)
+// CompileTimeline compiles a trace's contacts into the static timeline
+// the two-stream scheduler replays: one entry per contact in start order,
+// with Arg = contact index. The result is immutable and may be shared
+// read-only across any number of Nets replaying the same trace (the
+// sweep's TraceCache compiles once per trace and shares it across
+// replicates and cells).
+func CompileTimeline(tr *trace.Trace) []eventsim.StaticEvent {
+	tl := make([]eventsim.StaticEvent, len(tr.Contacts))
+	for i := range tr.Contacts {
+		tl[i] = eventsim.StaticEvent{Time: tr.Contacts[i].Start, Arg: int32(i)}
 	}
-	for i := range n.tr.Contacts {
-		if _, err := n.sim.ScheduleAt(n.tr.Contacts[i].Start, h); err != nil {
-			return fmt.Errorf("network: schedule contact %d: %w", i, err)
-		}
+	return tl
+}
+
+// Schedule enqueues every contact of the trace into the simulator. Call
+// once, before running the simulator. The timeline is compiled on the
+// fly; callers replaying the same trace many times should compile once
+// with CompileTimeline and use ScheduleCompiled.
+func (n *Net) Schedule() error {
+	return n.ScheduleCompiled(nil)
+}
+
+// ScheduleCompiled attaches a pre-compiled contact timeline (from
+// CompileTimeline on this Net's trace); nil compiles one on the fly.
+// Contacts are sorted by start time (trace.Validate), so the timeline is
+// sorted and replays by cursor — no heap operations and no per-contact
+// closures.
+func (n *Net) ScheduleCompiled(tl []eventsim.StaticEvent) error {
+	if tl == nil {
+		tl = CompileTimeline(n.tr)
+	}
+	if len(tl) != len(n.tr.Contacts) {
+		return fmt.Errorf("network: timeline has %d events, trace has %d contacts", len(tl), len(n.tr.Contacts))
+	}
+	if err := n.sim.AttachTimeline(tl, n.dispatchStatic); err != nil {
+		return fmt.Errorf("network: schedule contacts: %w", err)
 	}
 	return nil
+}
+
+// dispatchStatic is the timeline dispatch target: Arg is the contact
+// index assigned by CompileTimeline.
+func (n *Net) dispatchStatic(arg int32, now float64) {
+	n.dispatch(n.tr.Contacts[arg], now)
 }
 
 func (n *Net) dispatch(c trace.Contact, now float64) {
@@ -200,7 +227,7 @@ func (n *Net) dispatch(c trace.Contact, now float64) {
 			budget = 1
 		}
 	}
-	live := &Contact{
+	n.live = Contact{
 		A:        c.A,
 		B:        c.B,
 		Time:     now,
@@ -211,7 +238,7 @@ func (n *Net) dispatch(c trace.Contact, now float64) {
 	}
 	n.contactsDispatched++
 	for _, h := range n.handlers {
-		h.OnContact(live)
+		h.OnContact(&n.live)
 	}
 }
 
