@@ -13,12 +13,9 @@
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,6 +27,7 @@ import (
 	"freshcache/internal/expt"
 	"freshcache/internal/metrics"
 	"freshcache/internal/obs"
+	"freshcache/internal/obs/store"
 )
 
 func main() {
@@ -66,11 +64,16 @@ func run(args []string) error {
 		lineage      = fs.Bool("lineage", false, "collect causal refresh-lineage spans (generation → duty → handoff → delivery trees) per run and write lineage.jsonl to the -obs directory (requires -obs)")
 		timelineTick = fs.Float64("timeline-tick", 0, "simulated-time telemetry sampling period in seconds: snapshot freshness ratio, cumulative counts and per-node/item copy age every tick into timeline.csv in the -obs directory (0 = off, negative = auto tick of measurement-phase/240; requires -obs)")
 		timings      = fs.Bool("timings", false, "include machine-dependent wall-clock columns in tables that have them (E10)")
-		httpAddr     = fs.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address for the duration of the run")
+		httpAddr     = fs.String("http", "", "serve the live endpoint on this address for the duration of the run: HTML status page at /, sweep progress SSE at /live/progress, OpenMetrics at /live/metrics, pprof at /debug/pprof")
+
+		storePath      = fs.String("store", "", "append this run's record (provenance, metric snapshot, per-cell costs, dispositions) to the cross-run results store at this path (JSONL; query with obsreport trend/query/gate)")
+		profileSlowest = fs.Int("profile-slowest", 0, "capture pprof CPU profiles of the N most expensive sweep cells into <obs>/profiles/ (requires -obs and -parallel 1)")
+		verbose        = fs.Bool("v", false, "verbose: log at debug level (per-cell retries and other detail)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	initLogging(*verbose)
 	start := time.Now()
 
 	if *cpuProfile != "" {
@@ -88,13 +91,13 @@ func run(args []string) error {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				slog.Error("memprofile", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				slog.Error("memprofile", "err", err)
 			}
 		}()
 	}
@@ -106,6 +109,30 @@ func run(args []string) error {
 		}
 		if err := expt.WriteBenchJSON(*benchJSON, rep); err != nil {
 			return err
+		}
+		// With -store the bench figures also land in the results store under
+		// their BENCH_*.json field names, so `obsreport trend -metric
+		// e2NsPerOp` plots the harness trajectory across invocations.
+		if *storePath != "" {
+			rec := store.NewRecord("experiments-bench")
+			rec.Command = append([]string{"experiments"}, args...)
+			rec.Seed = *seed
+			rec.ConfigDigest = store.ConfigDigest(map[string]any{"bench": true, "preset": rep.Preset})
+			rec.WallClockSeconds = time.Since(start).Seconds()
+			rec.Metrics = map[string]float64{
+				"contacts":         float64(rep.Contacts),
+				"nsPerContact":     rep.NsPerContact,
+				"allocsPerContact": rep.AllocsPerContact,
+				"bytesPerContact":  rep.BytesPerContact,
+				"e2Cells":          float64(rep.E2Cells),
+				"e2NsPerOp":        rep.E2NsPerOp,
+				"e2AllocsPerOp":    rep.E2AllocsPerOp,
+				"e2BytesPerOp":     rep.E2BytesPerOp,
+				"cellsPerSec":      rep.CellsPerSec,
+			}
+			if err := store.Append(*storePath, rec); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("(bench: %.0f ns/contact, %.1f allocs/contact, %.1f cells/s -> %s)\n",
 			rep.NsPerContact, rep.AllocsPerContact, rep.CellsPerSec, *benchJSON)
@@ -155,6 +182,15 @@ func run(args []string) error {
 	if (*lineage || *timelineTick != 0) && *obsDir == "" {
 		return fmt.Errorf("-lineage and -timeline-tick require -obs (the output directory)")
 	}
+	if *profileSlowest < 0 {
+		return fmt.Errorf("profile-slowest must be >= 0, got %d", *profileSlowest)
+	}
+	if *profileSlowest > 0 && *obsDir == "" {
+		return fmt.Errorf("-profile-slowest requires -obs (profiles are written to <obs>/profiles/)")
+	}
+	if *profileSlowest > 0 && *par != 1 {
+		return fmt.Errorf("-profile-slowest requires -parallel 1 (the CPU profiler is process-global; a concurrent cell would pollute the capture)")
+	}
 
 	// Crash-safety plumbing: the journal checkpoints completed sweep cells
 	// (and replays them under -resume); the ledger accounts every cell's
@@ -169,15 +205,16 @@ func run(args []string) error {
 		journal = j
 		defer journal.Close()
 		if *resume {
-			fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d completed cells)\n",
-				*checkpoint, journal.Len())
+			slog.Info("resuming from checkpoint journal",
+				"journal", *checkpoint, "completedCells", journal.Len())
 		}
 	}
 
-	// The observer exists when anything consumes it: trace output (-obs) or
-	// the live endpoint (-http). Nil otherwise, so hot paths stay zero-cost.
+	// The observer exists when anything consumes it: trace output (-obs),
+	// the live endpoint (-http) or the results store (-store). Nil
+	// otherwise, so hot paths stay zero-cost.
 	var observer *obs.Observer
-	if *obsDir != "" || *httpAddr != "" {
+	if *obsDir != "" || *httpAddr != "" || *storePath != "" {
 		if *obsDir != "" {
 			if err := os.MkdirAll(*obsDir, 0o755); err != nil {
 				return err
@@ -186,10 +223,25 @@ func run(args []string) error {
 		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer,
 			Lineage: *lineage, TimelineTick: *timelineTick})
 	}
+
+	// Per-cell cost attribution for the store and -profile-slowest. Alloc
+	// deltas and profiles are only meaningful when cells run strictly
+	// sequentially, so they're granted only at -parallel 1.
+	var costs *expt.CellCosts
+	if *storePath != "" || *profileSlowest > 0 {
+		costs = expt.NewCellCosts(*profileSlowest, *par == 1)
+	}
+
+	// The live endpoint owns its mux and listener (the old expvar-based
+	// serveDebug registered pprof on the default mux and leaked its listener
+	// across run() calls); Close on return drains it.
 	if *httpAddr != "" {
-		if err := serveDebug(*httpAddr, observer); err != nil {
-			return err
+		live, err := obs.ServeLive(*httpAddr, observer.Registry(), ledger.Snapshot)
+		if err != nil {
+			return fmt.Errorf("http: %w", err)
 		}
+		defer live.Close()
+		slog.Info("live endpoint serving", "url", "http://"+live.Addr()+"/")
 	}
 
 	// Experiments run concurrently up to the -parallel bound; each one's
@@ -209,7 +261,8 @@ func run(args []string) error {
 			defer func() { <-sem }()
 			opts := expt.Options{Seed: *seed, Quick: *quick, Parallel: *par, Replicates: *reps,
 				Obs: observer, Timings: *timings,
-				Journal: journal, Ledger: ledger, Retries: *retries, KeepGoing: *keepGoing}
+				Journal: journal, Ledger: ledger, Retries: *retries, KeepGoing: *keepGoing,
+				Costs: costs}
 			results[i] = runOne(e, opts, *charts, *csvDir)
 		}()
 	}
@@ -224,8 +277,8 @@ func run(args []string) error {
 			// Degradation mode: a failed experiment must not throw away the
 			// others' completed work. Note it, keep printing the rest, and
 			// fail the exit status at the end.
-			fmt.Fprintf(os.Stderr, "experiments: %s failed (continuing, -keep-going): %v\n",
-				selected[i].ID, r.err)
+			slog.Warn("experiment failed (continuing, -keep-going)",
+				"experiment", selected[i].ID, "err", r.err)
 			expErrors = append(expErrors, fmt.Sprintf("%s: %v", selected[i].ID, r.err))
 			continue
 		}
@@ -266,6 +319,18 @@ func run(args []string) error {
 		}
 	}
 
+	// CPU profiles of the most expensive cells, most expensive first.
+	if *profileSlowest > 0 {
+		if err := costs.ProfileErr(); err != nil {
+			slog.Warn("per-cell profiling disabled", "err", err)
+		}
+		profs, err := writeCellProfiles(filepath.Join(*obsDir, "profiles"), costs.Profiles())
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, profs...)
+	}
+
 	// A manifest accompanies the run's artifacts: next to the CSVs when
 	// -csv is given, and in the obs directory when -obs is.
 	if *csvDir != "" || observer != nil {
@@ -278,6 +343,7 @@ func run(args []string) error {
 			"lineage": *lineage, "timelineTick": *timelineTick,
 			"checkpoint": *checkpoint, "resume": *resume,
 			"keepGoing": *keepGoing, "retries": *retries,
+			"store": *storePath, "profileSlowest": *profileSlowest,
 		}
 		m.Outputs = outputs
 		if observer != nil {
@@ -313,13 +379,44 @@ func run(args []string) error {
 		float64(m.TotalAlloc)/(1<<20), m.Mallocs, float64(m.HeapInuse)/(1<<20),
 		float64(m.HeapSys)/(1<<20), m.NumGC)
 
+	// Append the run's record to the cross-run results store — after all
+	// stdout, so determinism diffs of the tables see no difference, and
+	// even for keep-going runs with failures (the dispositions are part of
+	// the history worth querying).
+	if *storePath != "" {
+		rec := store.NewRecord("experiments")
+		rec.Command = append([]string{"experiments"}, args...)
+		rec.Seed = *seed
+		// The digest covers result-determining configuration only, so runs
+		// differing merely in execution policy (-parallel, -retries,
+		// checkpointing) compare as the same configuration in the store.
+		rec.ConfigDigest = store.ConfigDigest(map[string]any{
+			"run": *only, "quick": *quick, "replicates": *reps, "timings": *timings,
+		})
+		rec.WallClockSeconds = time.Since(start).Seconds()
+		snap := observer.Metrics.Snapshot()
+		rec.Metrics = store.FlattenMetrics(snap, observer.SchemeRollups())
+		rec.Histograms = snap.Histograms
+		rec.Cells = costs.Cells()
+		rs := ledger.Summary()
+		rs.Journal = *checkpoint
+		rs.Resumed = *resume
+		rec.Resume = &rs
+		if err := store.Append(*storePath, rec); err != nil {
+			return err
+		}
+		slog.Info("run record appended to results store", "store", *storePath)
+	}
+
 	// Degradation mode still fails the invocation: partial tables were
 	// printed and the roster recorded, but the exit status must say the run
 	// was not whole.
 	if failures := ledger.Failures(); len(failures) > 0 || len(expErrors) > 0 {
 		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "experiments: failed cell %s preset=%s point=%d scheme=%q replicate=%d after %d attempt(s): %s\n",
-				f.Experiment, f.Preset, f.Point, f.Scheme, f.Replicate, f.Attempts, firstLine(f.Error))
+			slog.Error("failed cell",
+				"experiment", f.Experiment, "preset", f.Preset, "point", f.Point,
+				"scheme", f.Scheme, "replicate", f.Replicate, "attempts", f.Attempts,
+				"err", firstLine(f.Error))
 		}
 		return fmt.Errorf("completed with %d failed cell(s) and %d failed experiment(s); partial tables contain NA holes",
 			len(failures), len(expErrors))
@@ -359,30 +456,43 @@ func manifestDirs(dirs ...string) []string {
 	return out
 }
 
-// publishOnce guards the process-global expvar names: tests invoke run()
-// repeatedly and expvar.Publish panics on duplicates.
-var publishOnce sync.Once
-
-// serveDebug starts the -http endpoint: expvar at /debug/vars (including
-// the observer's metric snapshot under "freshcache") and net/http/pprof at
-// /debug/pprof. It serves for the remainder of the process.
-func serveDebug(addr string, observer *obs.Observer) error {
-	publishOnce.Do(func() {
-		expvar.Publish("freshcache", expvar.Func(func() any {
-			return observer.Registry().Snapshot()
-		}))
-	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("http: %w", err)
+// initLogging routes progress and warning output through a text slog
+// handler on stderr — stdout stays reserved for tables, so determinism
+// diffs are unaffected. -v lowers the level to debug.
+func initLogging(verbose bool) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
 	}
-	fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s/debug/vars\n", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: http:", err)
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+}
+
+// writeCellProfiles writes the retained per-cell CPU profiles into dir,
+// most expensive first, and returns the written paths.
+func writeCellProfiles(dir string, profs []expt.CellProfile) ([]string, error) {
+	if len(profs) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var out []string
+	for rank, p := range profs {
+		scheme := p.Cost.Scheme
+		if scheme == "" {
+			scheme = "default"
 		}
-	}()
-	return nil
+		name := fmt.Sprintf("%02d-%s-%s-p%02d-%s-r%d.pprof",
+			rank, p.Cost.Experiment, p.Cost.Preset, p.Cost.Point, scheme, p.Cost.Replicate)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, p.Data, 0o644); err != nil {
+			return nil, err
+		}
+		slog.Info("wrote cell profile", "path", path,
+			"wallSeconds", p.Cost.WallSeconds, "mallocs", p.Cost.Mallocs)
+		out = append(out, path)
+	}
+	return out, nil
 }
 
 // runOne executes one experiment and renders its full output block.

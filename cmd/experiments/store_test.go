@@ -1,0 +1,195 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"freshcache/internal/obs/store"
+)
+
+// TestRunStoreAppendsRecord: every -store invocation appends one record
+// joining provenance with the metric snapshot, per-cell costs and ledger
+// dispositions; repeated same-seed runs append records whose
+// result-carrying fields are identical.
+func TestRunStoreAppendsRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-run", "E2", "-quick", "-store", path}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := store.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("store holds %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Tool != "experiments" || r.Seed != 42 || r.ConfigDigest == "" {
+		t.Fatalf("record provenance: %+v", r)
+	}
+	if r.Metrics["engine/contacts"] <= 0 {
+		t.Errorf("record metrics missing engine/contacts: %v", r.Metrics)
+	}
+	if len(r.Cells) == 0 {
+		t.Error("record has no per-cell costs")
+	}
+	for _, c := range r.Cells {
+		if c.Experiment != "E2" || c.Attempts != 1 || c.WallSeconds < 0 {
+			t.Errorf("cell cost: %+v", c)
+		}
+		if c.Mallocs == 0 {
+			t.Errorf("cell %v: no alloc delta at -parallel 1", c)
+		}
+	}
+	if r.Resume == nil || r.Resume.CellsExecuted == 0 {
+		t.Errorf("record resume summary: %+v", r.Resume)
+	}
+
+	// Determinism modulo provenance/timing: metrics, histogram totals,
+	// dispositions and digest match across same-seed runs.
+	a, b := recs[0], recs[1]
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("metrics differ across same-seed runs:\n%v\n%v", a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.Histograms, b.Histograms) {
+		t.Error("histograms differ across same-seed runs")
+	}
+	if a.ConfigDigest != b.ConfigDigest || *a.Resume != *b.Resume || len(a.Cells) != len(b.Cells) {
+		t.Errorf("records not comparable: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunStoreDeterministicAcrossParallel: tables and the record's
+// result-carrying fields are identical at -parallel 1 and 8; only cell
+// wall/alloc numbers (timing) may differ.
+func TestRunStoreDeterministicAcrossParallel(t *testing.T) {
+	dir := t.TempDir()
+	p1, p8 := filepath.Join(dir, "p1.jsonl"), filepath.Join(dir, "p8.jsonl")
+	out1, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E2", "-quick", "-parallel", "1", "-store", p1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out8, err := captureStdout(t, func() error {
+		return run([]string{"-run", "E2", "-quick", "-parallel", "8", "-store", p8})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out8 {
+		t.Errorf("tables differ between -parallel 1 and 8 with -store:\n%s\n---\n%s", out1, out8)
+	}
+	r1, err := store.Read(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := store.Read(p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1[0].Metrics, r8[0].Metrics) {
+		t.Error("store metrics differ between -parallel 1 and 8")
+	}
+	if !reflect.DeepEqual(r1[0].Histograms, r8[0].Histograms) {
+		t.Error("store histograms differ between -parallel 1 and 8")
+	}
+	// Cell identity (grid order) is deterministic either way.
+	if len(r1[0].Cells) != len(r8[0].Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(r1[0].Cells), len(r8[0].Cells))
+	}
+	for i := range r1[0].Cells {
+		a, b := r1[0].Cells[i], r8[0].Cells[i]
+		if a.Experiment != b.Experiment || a.Preset != b.Preset || a.Point != b.Point ||
+			a.Scheme != b.Scheme || a.Replicate != b.Replicate {
+			t.Fatalf("cell %d identity differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestRunLiveEndpointReleased: the -http listener is closed when run()
+// returns — the old serveDebug leaked it, so a second run() on the same
+// address failed to bind.
+func TestRunLiveEndpointReleased(t *testing.T) {
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-run", "E1", "-quick", "-http", addr}); err != nil {
+			t.Fatalf("run %d with -http %s: %v", i, addr, err)
+		}
+	}
+}
+
+// TestRunProfileSlowest: the N most expensive cells' CPU profiles land in
+// <obs>/profiles/ and are listed in the manifest outputs.
+func TestRunProfileSlowest(t *testing.T) {
+	dir := t.TempDir()
+	obsDir := filepath.Join(dir, "obs")
+	if err := run([]string{"-run", "E2", "-quick", "-parallel", "1",
+		"-obs", obsDir, "-store", filepath.Join(dir, "s.jsonl"), "-profile-slowest", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	profs, err := filepath.Glob(filepath.Join(obsDir, "profiles", "*.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) == 0 || len(profs) > 2 {
+		t.Fatalf("profiles written: %v, want 1-2", profs)
+	}
+	for _, p := range profs {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s: %v (size %d)", p, err, st.Size())
+		}
+	}
+}
+
+func TestRunProfileSlowestValidation(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-quick", "-profile-slowest", "2"}); err == nil {
+		t.Error("-profile-slowest accepted without -obs")
+	}
+	if err := run([]string{"-run", "E1", "-quick", "-obs", t.TempDir(),
+		"-parallel", "2", "-profile-slowest", "2"}); err == nil {
+		t.Error("-profile-slowest accepted at -parallel 2")
+	}
+	if err := run([]string{"-run", "E1", "-quick", "-profile-slowest", "-1"}); err == nil {
+		t.Error("negative -profile-slowest accepted")
+	}
+}
+
+// TestRunBenchStore: the bench harness path appends a record under its
+// BENCH_*.json metric names, so `obsreport trend -metric e2NsPerOp` works.
+func TestRunBenchStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness run in -short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	_, err := captureStdout(t, func() error {
+		return run([]string{"-benchjson", filepath.Join(dir, "b.json"), "-store", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Tool != "experiments-bench" {
+		t.Fatalf("bench store records: %+v", recs)
+	}
+	for _, name := range []string{"e2NsPerOp", "e2AllocsPerOp", "e2BytesPerOp", "nsPerContact", "cellsPerSec"} {
+		if recs[0].Metrics[name] <= 0 {
+			t.Errorf("bench record missing %s: %v", name, recs[0].Metrics)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"freshcache/internal/core"
 	"freshcache/internal/expt"
 	"freshcache/internal/obs"
+	"freshcache/internal/obs/store"
 )
 
 func main() {
@@ -68,6 +69,7 @@ func run(args []string) error {
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 
 		obsDir       = fs.String("obs", "", "directory for observability output: events.jsonl, trace.json (Perfetto), metrics.om (OpenMetrics) and manifest.json")
+		storePath    = fs.String("store", "", "append this run's record (provenance, metric snapshot, dispositions) to the cross-run results store at this path (JSONL; query with obsreport trend/query/gate)")
 		obsSample    = fs.Int("obs-sample", 1, "keep 1 in N trace events (1 = all)")
 		obsBuffer    = fs.Int("obs-buffer", obs.DefaultBufferCap, "per-run trace ring-buffer capacity in events")
 		lineage      = fs.Bool("lineage", false, "collect causal refresh-lineage spans (generation → duty → handoff → delivery trees) and write lineage.jsonl to the -obs directory (requires -obs)")
@@ -89,10 +91,14 @@ func run(args []string) error {
 	if (*lineage || *timelineTick != 0) && *obsDir == "" {
 		return fmt.Errorf("-lineage and -timeline-tick require -obs (the output directory)")
 	}
-	var observer *obs.Observer // nil when -obs is off
-	if *obsDir != "" {
-		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
-			return err
+	// The observer exists when anything consumes its registry: trace output
+	// (-obs) or the results store (-store). Nil otherwise.
+	var observer *obs.Observer
+	if *obsDir != "" || *storePath != "" {
+		if *obsDir != "" {
+			if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+				return err
+			}
 		}
 		observer = obs.NewObserver(obs.Config{SampleEvery: *obsSample, BufferCap: *obsBuffer,
 			Lineage: *lineage, TimelineTick: timelineTick.Seconds()})
@@ -235,8 +241,31 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if observer != nil {
-		return writeObs(*obsDir, observer, start, args, *seed, ledger, *checkpoint, *resume)
+	if observer != nil && *obsDir != "" {
+		if err := writeObs(*obsDir, observer, start, args, *seed, ledger, *checkpoint, *resume); err != nil {
+			return err
+		}
+	}
+	// The store record appends last, after all stdout, so report output is
+	// unaffected by -store.
+	if *storePath != "" {
+		rec := store.NewRecord("freshsim")
+		rec.Command = append([]string{"freshsim"}, args...)
+		rec.Seed = *seed
+		// The flag digest already covers exactly the simulation-relevant
+		// configuration (output and checkpointing flags excluded).
+		rec.ConfigDigest = strings.TrimPrefix(replicatedExperimentID(fs), "freshsim-")
+		rec.WallClockSeconds = time.Since(start).Seconds()
+		snap := observer.Metrics.Snapshot()
+		rec.Metrics = store.FlattenMetrics(snap, observer.SchemeRollups())
+		rec.Histograms = snap.Histograms
+		rs := ledger.Summary()
+		rs.Journal = *checkpoint
+		rs.Resumed = *resume
+		rec.Resume = &rs
+		if err := store.Append(*storePath, rec); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -344,6 +373,7 @@ func replicatedExperimentID(fs *flag.FlagSet) string {
 		"lineage": true, "timeline-tick": true,
 		"cpuprofile": true, "memprofile": true,
 		"checkpoint": true, "resume": true, "compare": true,
+		"store": true,
 	}
 	h := fnv.New64a()
 	fs.VisitAll(func(f *flag.Flag) { // lexical order: deterministic

@@ -10,6 +10,7 @@ import (
 
 	"freshcache/internal/mobility"
 	"freshcache/internal/obs"
+	"freshcache/internal/obs/store"
 	"freshcache/internal/trace"
 )
 
@@ -215,5 +216,68 @@ func TestRunWithObservability(t *testing.T) {
 	}
 	if m.Tool != "freshsim" || m.Events == nil || m.Events.Runs != 1 {
 		t.Fatalf("manifest incomplete: %+v", m)
+	}
+}
+
+// TestRunStore: -store appends a freshsim record with the run's metrics,
+// and leaves the report byte-identical.
+func TestRunStore(t *testing.T) {
+	path := smallTraceFile(t)
+	base := []string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h"}
+	clean, err := captureStdout(t, func() error { return run(base) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := filepath.Join(t.TempDir(), "store.jsonl")
+	stored, err := captureStdout(t, func() error {
+		return run(append(append([]string{}, base...), "-store", sp))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != clean {
+		t.Fatalf("-store changed the report:\n%q\nvs\n%q", stored, clean)
+	}
+	recs, err := store.Read(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("store holds %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Tool != "freshsim" || r.ConfigDigest == "" || r.Seed != 1 {
+		t.Fatalf("record provenance: %+v", r)
+	}
+	if r.Metrics["engine/contacts"] <= 0 {
+		t.Errorf("record metrics missing engine/contacts: %v", r.Metrics)
+	}
+}
+
+// TestRunStoreKeepsCheckpointID: -store is execution policy, not
+// simulation config — adding it on resume must not change the experiment
+// ID, so the journal still replays.
+func TestRunStoreKeepsCheckpointID(t *testing.T) {
+	path := smallTraceFile(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	base := []string{"-trace", path, "-items", "2", "-caching", "4", "-refresh", "4h",
+		"-runs", "2", "-checkpoint", ckpt}
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	sp := filepath.Join(dir, "store.jsonl")
+	if err := run(append(append([]string{}, base...), "-resume", "-store", sp)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.Read(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Resume == nil {
+		t.Fatalf("store records: %+v", recs)
+	}
+	if got := recs[0].Resume.CellsReplayed; got != 2 {
+		t.Errorf("resumed run replayed %d cells, want 2 (did -store change the experiment ID?)", got)
 	}
 }

@@ -9,8 +9,16 @@
 //	obsreport diff out/a out/b             # compare manifests, exit 2 on regression
 //	obsreport diff -tolerance 2 out/a out/b
 //
-// Exit status: 0 on success (diff: within tolerance), 1 on usage or I/O
-// errors, 2 when diff finds a regression beyond the tolerance.
+// The trend/query/gate subcommands read the persistent cross-run results
+// store (the JSONL appended by `experiments -store` / `freshsim -store`):
+//
+//	obsreport query store.jsonl                    # list stored records
+//	obsreport query -metrics store.jsonl           # list stored metric names
+//	obsreport trend -metric e2NsPerOp store.jsonl  # metric trajectory + sparkline
+//	obsreport gate -metric e2NsPerOp:10,e2AllocsPerOp:5 store.jsonl
+//
+// Exit status: 0 on success (diff/gate: within tolerance), 1 on usage or
+// I/O errors, 2 when diff or gate finds a regression beyond the tolerance.
 package main
 
 import (
@@ -36,14 +44,20 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: obsreport <report|diff> [flags] <dir> [<dir>]")
+		return errors.New("usage: obsreport <report|diff|trend|query|gate> [flags] <dir|store> [<dir>]")
 	}
 	switch args[0] {
 	case "report":
 		return runReport(args[1:], out)
 	case "diff":
 		return runDiff(args[1:], out)
+	case "trend":
+		return runTrend(args[1:], out)
+	case "query":
+		return runQuery(args[1:], out)
+	case "gate":
+		return runGate(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want report or diff)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want report, diff, trend, query or gate)", args[0])
 	}
 }

@@ -1,0 +1,218 @@
+package expt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"freshcache/internal/obs"
+)
+
+// TestCellCostsRecorded: every executed cell lands in the collector with
+// wall time and attempts; order out of the workers is irrelevant because
+// Cells() sorts into grid order.
+func TestCellCostsRecorded(t *testing.T) {
+	costs := NewCellCosts(0, true)
+	s := Sweep{
+		Experiment: "cost-test",
+		Presets:    []string{"a", "b"},
+		Points:     2,
+		Schemes:    []string{"x"},
+		Parallel:   1,
+		BaseSeed:   1,
+		Costs:      costs,
+	}
+	if _, err := s.Run(func(c Cell) ([]float64, error) {
+		return []float64{float64(c.Point)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cells := costs.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("recorded %d cells, want 4", len(cells))
+	}
+	for i, c := range cells {
+		if c.WallSeconds < 0 || c.Attempts != 1 {
+			t.Errorf("cell %d: %+v", i, c)
+		}
+		if c.Mallocs == 0 {
+			t.Errorf("cell %d: no alloc delta at single worker", i)
+		}
+	}
+	// Grid order: preset-major.
+	if cells[0].Preset != "a" || cells[0].Point != 0 || cells[3].Preset != "b" || cells[3].Point != 1 {
+		t.Errorf("Cells() not grid-sorted: %+v", cells)
+	}
+}
+
+// TestCellCostsParallelNoAllocs: at multiple workers wall time still
+// records but alloc deltas are suppressed — they'd be cross-worker noise.
+func TestCellCostsParallelNoAllocs(t *testing.T) {
+	costs := NewCellCosts(0, false)
+	s := Sweep{
+		Experiment: "cost-par",
+		Presets:    []string{"a"},
+		Points:     4,
+		Parallel:   4,
+		BaseSeed:   1,
+		Costs:      costs,
+	}
+	if _, err := s.Run(func(c Cell) ([]float64, error) {
+		return []float64{1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range costs.Cells() {
+		if c.Mallocs != 0 || c.AllocBytes != 0 {
+			t.Errorf("alloc delta recorded without trackAllocs: %+v", c)
+		}
+	}
+}
+
+// TestCellCostsRetryAttempts: the attempts a retried cell consumed are
+// attributed in its cost record and the ledger's retried counter.
+func TestCellCostsRetryAttempts(t *testing.T) {
+	costs := NewCellCosts(0, false)
+	ledger := &Ledger{}
+	fails := map[int]int{0: 2} // point 0 fails twice before succeeding
+	s := Sweep{
+		Experiment: "cost-retry",
+		Presets:    []string{"a"},
+		Points:     2,
+		Parallel:   1,
+		BaseSeed:   1,
+		Retries:    2,
+		Costs:      costs,
+		Ledger:     ledger,
+	}
+	if _, err := s.Run(func(c Cell) ([]float64, error) {
+		if fails[c.Point] > 0 {
+			fails[c.Point]--
+			return nil, errors.New("transient")
+		}
+		return []float64{1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cells := costs.Cells()
+	if len(cells) != 2 || cells[0].Attempts != 3 || cells[1].Attempts != 1 {
+		t.Fatalf("attempts not attributed: %+v", cells)
+	}
+	if snap := ledger.Snapshot(); snap.Retried != 2 {
+		t.Errorf("ledger retried = %d, want 2", snap.Retried)
+	}
+}
+
+// TestCellCostsProfiles: with profiling on, only the top-N most expensive
+// cells' profiles are retained, most expensive first.
+func TestCellCostsProfiles(t *testing.T) {
+	costs := NewCellCosts(2, true)
+	s := Sweep{
+		Experiment: "cost-prof",
+		Presets:    []string{"a"},
+		Points:     4,
+		Parallel:   1,
+		BaseSeed:   1,
+		Costs:      costs,
+	}
+	if _, err := s.Run(func(c Cell) ([]float64, error) {
+		// Make wall time increase with the point index so top-N is stable.
+		time.Sleep(time.Duration(c.Point+1) * 5 * time.Millisecond)
+		return []float64{1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := costs.ProfileErr(); err != nil {
+		t.Fatalf("profiling failed: %v", err)
+	}
+	profs := costs.Profiles()
+	if len(profs) != 2 {
+		t.Fatalf("retained %d profiles, want 2", len(profs))
+	}
+	if profs[0].Cost.WallSeconds < profs[1].Cost.WallSeconds {
+		t.Errorf("profiles not sorted most-expensive-first: %v vs %v",
+			profs[0].Cost.WallSeconds, profs[1].Cost.WallSeconds)
+	}
+	if profs[0].Cost.Point != 3 {
+		t.Errorf("most expensive profile is point %d, want 3", profs[0].Cost.Point)
+	}
+	for _, p := range profs {
+		if len(p.Data) == 0 {
+			t.Error("empty profile data")
+		}
+	}
+}
+
+// TestCellCostsNilSafe: a nil collector is inert.
+func TestCellCostsNilSafe(t *testing.T) {
+	var cc *CellCosts
+	if cc.Cells() != nil || cc.Profiles() != nil || cc.ProfileErr() != nil || cc.measureAllocs() {
+		t.Fatal("nil CellCosts not inert")
+	}
+	cc.add(obs.CellCost{}, nil)
+}
+
+// TestLedgerSnapshot: the snapshot reflects every disposition atomically
+// and the ETA inputs (queued, executed-only rate base, start time).
+func TestLedgerSnapshot(t *testing.T) {
+	var l *Ledger
+	if snap := l.Snapshot(); snap != (obs.Progress{}) {
+		t.Fatalf("nil ledger snapshot = %+v", snap)
+	}
+
+	ledger := &Ledger{}
+	ledger.addQueued(10)
+	ledger.addReplayed(3)
+	ledger.addExecuted(1)
+	ledger.addExecuted(3) // 2 retries
+	ledger.addSkipped()
+	ledger.addFailure(Cell{Experiment: "x"}, errors.New("boom"), 2) // 1 retry
+	snap := ledger.Snapshot()
+	if snap.Queued != 10 || snap.Executed != 2 || snap.Replayed != 3 ||
+		snap.Skipped != 1 || snap.Failed != 1 || snap.Retried != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Start.IsZero() {
+		t.Fatal("snapshot missing start time")
+	}
+
+	// Replayed cells are settled but must not count as executable work:
+	// remaining = queued - settled = 10 - 7 = 3.
+	if got := snap.Queued - (snap.Executed + snap.Replayed + snap.Failed + snap.Skipped); got != 3 {
+		t.Fatalf("remaining = %d, want 3", got)
+	}
+}
+
+// TestLedgerSnapshotDuringSweep exercises Snapshot concurrently with a
+// running sweep (the live endpoint's access pattern) — run with -race.
+func TestLedgerSnapshotDuringSweep(t *testing.T) {
+	ledger := &Ledger{}
+	s := Sweep{
+		Experiment: "snap-race",
+		Presets:    []string{"a"},
+		Points:     8,
+		Parallel:   4,
+		BaseSeed:   1,
+		Ledger:     ledger,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			snap := ledger.Snapshot()
+			if settled := snap.Executed + snap.Replayed + snap.Failed + snap.Skipped; settled > snap.Queued {
+				t.Errorf("settled %d > queued %d", settled, snap.Queued)
+				return
+			}
+		}
+	}()
+	if _, err := s.Run(func(c Cell) ([]float64, error) {
+		return []float64{1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if snap := ledger.Snapshot(); snap.Executed != 8 || snap.Queued != 8 {
+		t.Fatalf("final snapshot = %+v", snap)
+	}
+}

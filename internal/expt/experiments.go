@@ -59,6 +59,10 @@ type Options struct {
 	// event core instead of the two-stream scheduler. Differential
 	// determinism tests only — it is strictly slower.
 	ReferenceScheduler bool
+	// Costs, when non-nil, collects per-cell cost attribution (wall time,
+	// attempts, single-worker alloc deltas, optional CPU profiles) across
+	// every sweep for the cross-run results store.
+	Costs *CellCosts
 }
 
 // record folds one run's result into the optional stats accumulator.
@@ -84,6 +88,7 @@ func (o Options) sweep(id string, presets []string, points int, schemes []string
 		Ledger:     o.Ledger,
 		Retries:    o.Retries,
 		KeepGoing:  o.KeepGoing,
+		Costs:      o.Costs,
 	}
 }
 

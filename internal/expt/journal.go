@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"freshcache/internal/obs"
 )
@@ -211,9 +212,26 @@ func (j *Journal) Close() error {
 type Ledger struct {
 	mu       sync.Mutex
 	failures []obs.CellFailure
+	queued   int
 	replayed int
 	executed int
 	skipped  int
+	retried  int
+	start    time.Time
+}
+
+// addQueued grows the total cell count and stamps the run's start time on
+// first use, so progress rates are measured from when work actually began.
+func (l *Ledger) addQueued(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.queued += n
+	if l.start.IsZero() {
+		l.start = time.Now()
+	}
+	l.mu.Unlock()
 }
 
 func (l *Ledger) addReplayed(n int) {
@@ -225,12 +243,17 @@ func (l *Ledger) addReplayed(n int) {
 	l.mu.Unlock()
 }
 
-func (l *Ledger) addExecuted() {
+// addExecuted records a successful cell and the retry attempts it consumed
+// beyond the first.
+func (l *Ledger) addExecuted(attempts int) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	l.executed++
+	if attempts > 1 {
+		l.retried += attempts - 1
+	}
 	l.mu.Unlock()
 }
 
@@ -248,6 +271,9 @@ func (l *Ledger) addFailure(c Cell, err error, attempts int) {
 		return
 	}
 	l.mu.Lock()
+	if attempts > 1 {
+		l.retried += attempts - 1
+	}
 	l.failures = append(l.failures, obs.CellFailure{
 		Experiment: c.Experiment,
 		Preset:     c.Preset,
@@ -302,6 +328,28 @@ func (l *Ledger) Summary() obs.ResumeSummary {
 		CellsExecuted: l.executed,
 		CellsFailed:   len(l.failures),
 		CellsSkipped:  l.skipped,
+	}
+}
+
+// Snapshot returns an atomic progress snapshot for live reporting: every
+// disposition count plus the queued total and start time, taken under the
+// ledger lock so it never reads a half-updated state mid-sweep. Nil-safe
+// (a nil ledger reports zeros), so it can serve as the live endpoint's
+// progress source unconditionally.
+func (l *Ledger) Snapshot() obs.Progress {
+	if l == nil {
+		return obs.Progress{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return obs.Progress{
+		Queued:   l.queued,
+		Executed: l.executed,
+		Failed:   len(l.failures),
+		Skipped:  l.skipped,
+		Replayed: l.replayed,
+		Retried:  l.retried,
+		Start:    l.start,
 	}
 }
 

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"runtime/debug"
@@ -104,6 +105,11 @@ type Sweep struct {
 	// grid still runs, failed cells leave explicit NA holes in the
 	// assembled tables, and the failures land in the Ledger's roster.
 	KeepGoing bool
+	// Costs, when non-nil, records each executed cell's wall time and
+	// attempts (plus alloc deltas and optional CPU profiles at a single
+	// worker) for the cross-run results store. Measurement happens at cell
+	// boundaries only; the simulation hot path is untouched.
+	Costs *CellCosts
 }
 
 func (s Sweep) schemes() []string {
@@ -210,6 +216,12 @@ func (s Sweep) runCell(fn CellFunc, c Cell) ([]float64, error, int) {
 		if err == nil {
 			return v, nil, a
 		}
+		if a < attempts {
+			slog.Debug("retrying sweep cell",
+				"experiment", c.Experiment, "preset", c.Preset, "point", c.Point,
+				"scheme", c.Scheme, "replicate", c.Replicate,
+				"attempt", a, "budget", attempts, "err", err)
+		}
 	}
 	return nil, err, attempts
 }
@@ -248,6 +260,7 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 	errs := make([]error, len(cells))
 	status := make([]cellStatus, len(cells))
 	s.Obs.CellQueued(len(cells))
+	s.Ledger.addQueued(len(cells))
 
 	// Replay journaled cells first: they cost nothing, and the worker pool
 	// then only sees the remainder.
@@ -272,6 +285,10 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 	)
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	// Single-worker detection gates alloc/profile measurement: ReadMemStats
+	// deltas and the process-global CPU profiler only attribute correctly
+	// when no other cell runs concurrently.
+	single := s.workers(len(pending)) == 1
 	for w := s.workers(len(pending)); w > 0; w-- {
 		wg.Add(1)
 		go func() {
@@ -283,7 +300,16 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 					s.Obs.CellSkipped()
 					continue // drain: a cell already failed
 				}
-				v, err, attempts := s.runCell(fn, cells[i])
+				var (
+					v        []float64
+					err      error
+					attempts int
+				)
+				if s.Costs != nil {
+					v, err, attempts = s.Costs.measureCell(s, fn, cells[i], single)
+				} else {
+					v, err, attempts = s.runCell(fn, cells[i])
+				}
 				if err != nil {
 					errs[i] = err
 					status[i] = cellFailed
@@ -294,7 +320,7 @@ func (s Sweep) Run(fn CellFunc) (*SweepResult, error) {
 				}
 				runs[i] = v
 				status[i] = cellExecuted
-				s.Ledger.addExecuted()
+				s.Ledger.addExecuted(attempts)
 				if jerr := s.Journal.Record(cells[i], fp, v); jerr != nil {
 					// A broken checkpoint must not pass silently: the run
 					// finishes, but Run reports the journal failure.

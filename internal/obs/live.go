@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Progress is an atomic snapshot of a sweep's cell dispositions, taken by
+// the progress provider (expt.Ledger.Snapshot) under its own lock so live
+// reporting never races the workers. Queued is the total number of grid
+// cells the run will settle; Start is when execution began.
+type Progress struct {
+	Queued   int
+	Executed int
+	Failed   int
+	Skipped  int
+	Replayed int
+	Retried  int
+	Start    time.Time
+}
+
+// settled is the number of cells that have reached a terminal disposition.
+func (p Progress) settled() int {
+	return p.Executed + p.Failed + p.Skipped + p.Replayed
+}
+
+// progressEvent is the JSON body of one /live/progress SSE event: the raw
+// dispositions plus the derived rate and ETA. The rate counts executed
+// cells only — replayed cells are journal reads, orders of magnitude
+// cheaper than simulation, so folding them in would make the ETA wildly
+// optimistic on a resumed run. Remaining is likewise only the cells that
+// still need real execution.
+type progressEvent struct {
+	Queued         int     `json:"queued"`
+	Executed       int     `json:"executed"`
+	Failed         int     `json:"failed"`
+	Skipped        int     `json:"skipped"`
+	Replayed       int     `json:"replayed"`
+	Retried        int     `json:"retried"`
+	Remaining      int     `json:"remaining"`
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	CellsPerSec    float64 `json:"cellsPerSec,omitempty"`
+	ETASeconds     float64 `json:"etaSeconds,omitempty"`
+	Done           bool    `json:"done"`
+}
+
+func makeProgressEvent(p Progress, now time.Time) progressEvent {
+	ev := progressEvent{
+		Queued:   p.Queued,
+		Executed: p.Executed,
+		Failed:   p.Failed,
+		Skipped:  p.Skipped,
+		Replayed: p.Replayed,
+		Retried:  p.Retried,
+	}
+	ev.Remaining = p.Queued - p.settled()
+	if ev.Remaining < 0 {
+		ev.Remaining = 0
+	}
+	ev.Done = p.Queued > 0 && ev.Remaining == 0
+	if !p.Start.IsZero() {
+		ev.ElapsedSeconds = now.Sub(p.Start).Seconds()
+	}
+	if ev.ElapsedSeconds > 0 && p.Executed > 0 {
+		ev.CellsPerSec = float64(p.Executed) / ev.ElapsedSeconds
+		ev.ETASeconds = float64(ev.Remaining) / ev.CellsPerSec
+	}
+	return ev
+}
+
+// LiveServer is the scoped live-observability endpoint a run exposes under
+// -http: sweep progress as SSE, the metric registry as OpenMetrics and
+// expvar-style JSON, pprof, and a single-file HTML status page. Unlike the
+// old expvar dump it owns its mux (no handlers leak onto
+// http.DefaultServeMux) and its listener (Close shuts it down, so repeated
+// run() calls in one process don't accumulate listeners).
+type LiveServer struct {
+	ln       net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	doneOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// ServeLive starts the live endpoint on addr (e.g. "localhost:0"). reg may
+// be nil (empty metric snapshots); progress may be nil (the progress
+// routes report zeros). The caller must Close the returned server.
+func ServeLive(addr string, reg *Registry, progress func() Progress) (*LiveServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if progress == nil {
+		progress = func() Progress { return Progress{} }
+	}
+	s := &LiveServer{ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(statusPageHTML))
+	})
+	mux.HandleFunc("/live/progress", func(w http.ResponseWriter, r *http.Request) {
+		s.serveProgress(w, r, progress)
+	})
+	mux.HandleFunc("/live/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		WriteOpenMetrics(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// serveProgress streams progress snapshots as server-sent events until the
+// sweep settles every queued cell, the client disconnects, or the server
+// closes. ?interval=250ms overrides the default 1s cadence.
+func (s *LiveServer) serveProgress(w http.ResponseWriter, r *http.Request, progress func() Progress) {
+	interval := time.Second
+	if q := r.URL.Query().Get("interval"); q != "" {
+		if d, err := time.ParseDuration(q); err == nil && d >= 10*time.Millisecond {
+			interval = d
+		}
+	}
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for id := 0; ; id++ {
+		ev := makeProgressEvent(progress(), time.Now())
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "id: %s\nevent: progress\ndata: %s\n\n",
+			strconv.Itoa(id), b); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		if ev.Done {
+			return
+		}
+		select {
+		case <-tick.C:
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *LiveServer) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down: in-flight SSE streams are released, the
+// listener is closed, and Close blocks until the serve loop exits, so a
+// subsequent run in the same process can bind the same address.
+func (s *LiveServer) Close() error {
+	s.doneOnce.Do(func() { close(s.done) })
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
+
+// statusPageHTML is the single-file live status page: it subscribes to
+// /live/progress over EventSource and polls /live/metrics, with no external
+// assets so it renders from inside firewalled CI runners.
+const statusPageHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>freshcache sweep</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 52rem; color: #222; }
+  h1 { font-size: 1.2rem; }
+  #bar { height: 1.2rem; background: #eee; border-radius: 4px; overflow: hidden; margin: .6rem 0; }
+  #fill { height: 100%; width: 0; background: #4a90d9; transition: width .4s; }
+  table { border-collapse: collapse; margin: .8rem 0; }
+  td, th { padding: .15rem .8rem .15rem 0; text-align: left; }
+  pre { background: #f6f6f6; padding: .8rem; overflow: auto; max-height: 24rem; }
+  .muted { color: #888; }
+</style>
+<h1>freshcache sweep <span id="state" class="muted">connecting…</span></h1>
+<div id="bar"><div id="fill"></div></div>
+<table>
+  <tr><th>queued</th><th>executed</th><th>replayed</th><th>failed</th><th>skipped</th><th>retried</th><th>cells/s</th><th>ETA</th></tr>
+  <tr><td id="queued">-</td><td id="executed">-</td><td id="replayed">-</td><td id="failed">-</td>
+      <td id="skipped">-</td><td id="retried">-</td><td id="rate">-</td><td id="eta">-</td></tr>
+</table>
+<h1>metrics <span class="muted">(/live/metrics)</span></h1>
+<pre id="metrics">loading…</pre>
+<script>
+  const $ = id => document.getElementById(id);
+  const es = new EventSource('/live/progress?interval=1s');
+  es.addEventListener('progress', e => {
+    const p = JSON.parse(e.data);
+    for (const k of ['queued','executed','replayed','failed','skipped','retried']) $(k).textContent = p[k];
+    $('rate').textContent = p.cellsPerSec ? p.cellsPerSec.toFixed(2) : '-';
+    $('eta').textContent = p.etaSeconds ? p.etaSeconds.toFixed(1) + 's' : '-';
+    const settled = p.executed + p.replayed + p.failed + p.skipped;
+    $('fill').style.width = p.queued ? (100 * settled / p.queued) + '%' : '0';
+    $('state').textContent = p.done ? 'done' : 'running';
+    if (p.done) es.close();
+  });
+  es.onerror = () => { $('state').textContent = 'disconnected'; };
+  const refresh = () => fetch('/live/metrics').then(r => r.text()).then(t => { $('metrics').textContent = t; });
+  refresh();
+  setInterval(refresh, 2000);
+</script>
+`

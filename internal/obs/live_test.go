@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// liveProgress is a mutable progress source for tests.
+type liveProgress struct {
+	mu sync.Mutex
+	p  Progress
+}
+
+func (l *liveProgress) set(p Progress) {
+	l.mu.Lock()
+	l.p = p
+	l.mu.Unlock()
+}
+
+func (l *liveProgress) snapshot() Progress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p
+}
+
+func TestLiveServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine/contacts").Add(7)
+	reg.Gauge("sweep/queue_depth").Set(3)
+
+	src := &liveProgress{}
+	src.set(Progress{Queued: 4, Executed: 1, Replayed: 1, Start: time.Now().Add(-2 * time.Second)})
+
+	srv, err := ServeLive("localhost:0", reg, src.snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	if body, ct := get("/live/metrics"); !strings.Contains(body, "freshcache_engine_contacts_total 7") ||
+		!strings.Contains(body, "# EOF") || !strings.Contains(ct, "openmetrics") {
+		t.Errorf("/live/metrics = %q (content-type %q)", body, ct)
+	}
+	if body, ct := get("/"); !strings.Contains(body, "/live/progress") || !strings.Contains(ct, "text/html") {
+		t.Errorf("status page = %q (content-type %q)", body, ct)
+	}
+	if body, _ := get("/debug/vars"); !strings.Contains(body, "engine/contacts") {
+		t.Errorf("/debug/vars = %q", body)
+	}
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLiveProgressSSE drives the SSE stream: the first event reflects the
+// in-flight dispositions, and once every queued cell settles the stream
+// emits done:true and ends.
+func TestLiveProgressSSE(t *testing.T) {
+	src := &liveProgress{}
+	src.set(Progress{Queued: 3, Executed: 1, Replayed: 1, Start: time.Now().Add(-time.Second)})
+
+	srv, err := ServeLive("localhost:0", nil, src.snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/live/progress?interval=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	events := make(chan progressEvent, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev progressEvent
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) == nil {
+				events <- ev
+			}
+		}
+	}()
+
+	first, ok := <-events
+	if !ok {
+		t.Fatal("stream closed before first event")
+	}
+	if first.Queued != 3 || first.Executed != 1 || first.Replayed != 1 || first.Remaining != 1 || first.Done {
+		t.Fatalf("first event = %+v", first)
+	}
+	if first.CellsPerSec <= 0 || first.ETASeconds <= 0 {
+		t.Fatalf("first event missing rate/ETA: %+v", first)
+	}
+
+	src.set(Progress{Queued: 3, Executed: 2, Replayed: 1, Start: time.Now().Add(-time.Second)})
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed before done event")
+			}
+			if ev.Done {
+				if ev.Remaining != 0 {
+					t.Fatalf("done event = %+v", ev)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no done event within deadline")
+		}
+	}
+}
+
+// TestLiveServerClose: Close releases an in-flight SSE stream and frees
+// the listener so the address can be rebound — the serveDebug leak this
+// replaces kept listeners open across run() calls.
+func TestLiveServerClose(t *testing.T) {
+	src := &liveProgress{}
+	src.set(Progress{Queued: 10, Start: time.Now()})
+	srv, err := ServeLive("localhost:0", nil, src.snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	resp, err := http.Get("http://" + addr + "/live/progress?interval=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	closed := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, resp.Body)
+		close(closed)
+	}()
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream not released by Close")
+	}
+
+	srv2, err := ServeLive(addr, nil, nil)
+	if err != nil {
+		t.Fatalf("rebind after Close: %v", err)
+	}
+	srv2.Close()
+}
+
+// TestMakeProgressEvent pins the ETA semantics of the progress hook:
+// replayed cells neither count toward the rate nor remain in the ETA —
+// only executable work does.
+func TestMakeProgressEvent(t *testing.T) {
+	now := time.Now()
+	p := Progress{Queued: 10, Executed: 2, Replayed: 4, Failed: 1, Skipped: 1, Start: now.Add(-2 * time.Second)}
+	ev := makeProgressEvent(p, now)
+	if ev.Remaining != 2 {
+		t.Errorf("Remaining = %d, want 2 (10 queued - 8 settled)", ev.Remaining)
+	}
+	// Rate is executed-only: 2 cells / 2s = 1 cell/s, so ETA 2s. Counting
+	// the 4 replayed cells would claim 3 cells/s and a bogus ETA.
+	if ev.CellsPerSec < 0.9 || ev.CellsPerSec > 1.1 {
+		t.Errorf("CellsPerSec = %v, want ~1 (executed-only)", ev.CellsPerSec)
+	}
+	if ev.ETASeconds < 1.8 || ev.ETASeconds > 2.2 {
+		t.Errorf("ETASeconds = %v, want ~2", ev.ETASeconds)
+	}
+	if ev.Done {
+		t.Error("Done with 2 cells remaining")
+	}
+
+	done := makeProgressEvent(Progress{Queued: 4, Executed: 2, Replayed: 2, Start: now.Add(-time.Second)}, now)
+	if !done.Done || done.Remaining != 0 {
+		t.Errorf("settled grid: %+v, want done", done)
+	}
+
+	empty := makeProgressEvent(Progress{}, now)
+	if empty.Done || empty.CellsPerSec != 0 || empty.ETASeconds != 0 {
+		t.Errorf("zero progress: %+v", empty)
+	}
+}

@@ -62,6 +62,23 @@ type CellFailure struct {
 	Attempts   int    `json:"attempts"`
 }
 
+// CellCost attributes one sweep cell's execution cost: wall time always,
+// allocation deltas (runtime.ReadMemStats before/after the cell) only when
+// the sweep ran on a single worker — cross-worker interference would make
+// them noise otherwise — and the attempts the retry policy spent. Cost
+// records live in the cross-run results store, not the manifest.
+type CellCost struct {
+	Experiment  string  `json:"experiment"`
+	Preset      string  `json:"preset"`
+	Point       int     `json:"point"`
+	Scheme      string  `json:"scheme"`
+	Replicate   int     `json:"replicate"`
+	WallSeconds float64 `json:"wallSeconds"`
+	Mallocs     uint64  `json:"mallocs,omitempty"`
+	AllocBytes  uint64  `json:"allocBytes,omitempty"`
+	Attempts    int     `json:"attempts"`
+}
+
 // ResumeSummary records a run's checkpoint/resume provenance: the journal
 // path and the per-disposition cell counts. Replayed + executed + failed +
 // skipped covers every grid cell of the run's sweeps.

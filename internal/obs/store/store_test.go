@@ -1,0 +1,306 @@
+package store
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"freshcache/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden schema file under testdata/")
+
+// fullRecord returns a record with every field populated, for round-trip
+// and schema-fingerprint tests.
+func fullRecord(seed int64) *Record {
+	return &Record{
+		Schema:           Schema,
+		Tool:             "experiments",
+		CreatedAt:        "2026-01-01T00:00:00Z",
+		Command:          []string{"experiments", "-quick"},
+		Seed:             seed,
+		ConfigDigest:     "deadbeefdeadbeef",
+		GoVersion:        "go0.0.0",
+		GitRevision:      "cafebabe",
+		GitModified:      true,
+		OS:               "linux",
+		Arch:             "amd64",
+		WallClockSeconds: 1.5,
+		Metrics: map[string]float64{
+			"engine/contacts":                     12345,
+			"scheme/hierarchical/tx_per_delivery": 2.5,
+		},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"eventsim/queue_depth": {
+				Bounds: []float64{1, 2}, Counts: []uint64{1, 2, 0},
+				Total: 3, Sum: 4, Min: 1, Max: 2,
+			},
+		},
+		Cells: []obs.CellCost{{
+			Experiment: "E2", Preset: "infocom-like", Point: 0, Scheme: "direct",
+			Replicate: 0, WallSeconds: 0.25, Mallocs: 1000, AllocBytes: 65536, Attempts: 1,
+		}},
+		Resume: &obs.ResumeSummary{CellsExecuted: 10, CellsReplayed: 2},
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "store.jsonl")
+	for i := int64(0); i < 3; i++ {
+		if err := Append(path, fullRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seed != int64(i) {
+			t.Errorf("record %d: seed %d (append order lost)", i, r.Seed)
+		}
+		if r.Metrics["engine/contacts"] != 12345 || len(r.Cells) != 1 || r.Resume == nil {
+			t.Errorf("record %d did not round-trip: %+v", i, r)
+		}
+	}
+	if got := MetricNames(recs); len(got) != 2 || got[0] != "engine/contacts" {
+		t.Errorf("MetricNames = %v", got)
+	}
+	pts := Series(recs, "engine/contacts")
+	if len(pts) != 3 || pts[2].Index != 2 || pts[2].Value != 12345 {
+		t.Errorf("Series = %+v", pts)
+	}
+}
+
+// TestConcurrentAppends models a -parallel 8 style fan-out of appenders
+// sharing one store: every record must survive whole.
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				rec := fullRecord(int64(i))
+				if err := Append(path, rec); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n*4 {
+		t.Fatalf("read %d records, want %d (append tearing?)", len(recs), n*4)
+	}
+	perSeed := make(map[int64]int)
+	for _, r := range recs {
+		perSeed[r.Seed]++
+	}
+	for i := int64(0); i < n; i++ {
+		if perSeed[i] != 4 {
+			t.Errorf("seed %d: %d records, want 4", i, perSeed[i])
+		}
+	}
+}
+
+// TestTornTrailingRecord: a partial trailing line (a crash mid-append) is
+// dropped; the whole records before it still load.
+func TestTornTrailingRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	for i := int64(0); i < 2; i++ {
+		if err := Append(path, fullRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"freshcache-store/1","tool":"exper`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatalf("torn trailing record not tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want the 2 whole ones", len(recs))
+	}
+}
+
+// TestMidFileCorruptionFails: with single-write appends only the trailing
+// line can legitimately tear, so a malformed line followed by more data is
+// real damage and must be an error, not a silent skip.
+func TestMidFileCorruptionFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	if err := Append(path, fullRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{broken\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := Append(path, fullRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("mid-file corruption read back without error")
+	}
+}
+
+// TestSchemaMismatchRefused: a record written under a different schema
+// version fails the read outright.
+func TestSchemaMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	if err := Append(path, fullRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"freshcache-store/999","tool":"future"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Fatalf("foreign schema version not refused: %v", err)
+	}
+
+	rec := fullRecord(0)
+	rec.Schema = "freshcache-store/999"
+	if err := Append(filepath.Join(t.TempDir(), "s.jsonl"), rec); err == nil {
+		t.Fatal("Append accepted a foreign schema version")
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("missing store read back without error")
+	}
+}
+
+// jsonSchema flattens a value's JSON encoding into sorted "path: type"
+// lines — the same structural fingerprint the manifest schema gate uses,
+// so the golden only moves when a field is added, renamed or retyped.
+func jsonSchema(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree any
+	if err := json.Unmarshal(b, &tree); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			seen[path+": object"] = true
+			for k, val := range x {
+				walk(path+"."+k, val)
+			}
+		case []any:
+			seen[path+": array"] = true
+			for _, val := range x {
+				walk(path+"[]", val)
+			}
+		case string:
+			seen[path+": string"] = true
+		case float64:
+			seen[path+": number"] = true
+		case bool:
+			seen[path+": bool"] = true
+		default:
+			seen[path+": null"] = true
+		}
+	}
+	walk("$", tree)
+	lines := make([]string, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestStoreSchema pins the serialized record shape: obsreport
+// trend/query/gate and the CI obs-store job parse these lines back, so a
+// field rename is a breaking change.
+func TestStoreSchema(t *testing.T) {
+	// Metric/histogram map keys are data, not schema: normalize to one
+	// stable key each so the fingerprint doesn't move with metric names.
+	rec := fullRecord(42)
+	rec.Metrics = map[string]float64{"example_metric": 1}
+	rec.Histograms = map[string]obs.HistogramSnapshot{"example_hist": rec.Histograms["eventsim/queue_depth"]}
+	got := jsonSchema(t, rec)
+	path := filepath.Join("testdata", "store.schema")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/obs/store -run Schema -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("store record schema drifted from golden — a consumer-visible field changed.\n"+
+			"If intentional, regenerate with -update and note it in DESIGN.md.\n got:\n%s\nwant:\n%s",
+			got, want)
+	}
+}
+
+// TestNewRecordProvenance: NewRecord stamps toolchain provenance and the
+// current schema version.
+func TestNewRecordProvenance(t *testing.T) {
+	r := NewRecord("freshsim")
+	if r.Schema != Schema || r.Tool != "freshsim" || r.GoVersion == "" || r.OS == "" {
+		t.Fatalf("NewRecord = %+v", r)
+	}
+	if r.CreatedAt == "" {
+		t.Fatal("NewRecord missing timestamp")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	recs := []Record{{Tool: "a"}, {Tool: "b"}, {Tool: "a"}}
+	if got := Filter(recs, "a"); len(got) != 2 {
+		t.Fatalf("Filter(a) = %d records, want 2", len(got))
+	}
+	if got := Filter(recs, ""); len(got) != 3 {
+		t.Fatalf("Filter(\"\") = %d records, want 3", len(got))
+	}
+}
