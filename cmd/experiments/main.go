@@ -129,6 +129,12 @@ func run(args []string) error {
 				"e2AllocsPerOp":    rep.E2AllocsPerOp,
 				"e2BytesPerOp":     rep.E2BytesPerOp,
 				"cellsPerSec":      rep.CellsPerSec,
+
+				"largeNNodes":            float64(rep.LargeNNodes),
+				"largeNContacts":         float64(rep.LargeNContacts),
+				"largeNNsPerContact":     rep.LargeNNsPerContact,
+				"largeNAllocsPerContact": rep.LargeNAllocsPerContact,
+				"largeNBytesPerContact":  rep.LargeNBytesPerContact,
 			}
 			if err := store.Append(*storePath, rec); err != nil {
 				return err

@@ -241,7 +241,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 
 func TestExperimentRegistryExposed(t *testing.T) {
 	infos := Experiments()
-	if len(infos) != 20 {
+	if len(infos) != 21 {
 		t.Fatalf("experiments: %d", len(infos))
 	}
 	if infos[0].ID != "E1" {

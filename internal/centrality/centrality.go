@@ -40,12 +40,14 @@ type RateMatrix struct {
 	rates []float64 // flat n*n, both (a,b) and (b,a) kept in sync
 }
 
-// NewRateMatrix returns a zero rate matrix for n nodes.
-func NewRateMatrix(n int) *RateMatrix {
-	if n <= 0 {
-		panic(fmt.Sprintf("centrality: non-positive node count %d", n))
+// NewRateMatrix returns a zero rate matrix for n nodes. Node counts above
+// MaxDenseNodes are refused with a *SizeError; use NewSparseRates (or
+// NewRateStore with BackingAuto) for large networks.
+func NewRateMatrix(n int) (*RateMatrix, error) {
+	if err := checkDense("NewRateMatrix", n); err != nil {
+		return nil, err
 	}
-	return &RateMatrix{n: n, epoch: matrixEpochs.Add(1), rates: make([]float64, n*n)}
+	return &RateMatrix{n: n, epoch: matrixEpochs.Add(1), rates: make([]float64, n*n)}, nil
 }
 
 // Epoch implements Epoched: the matrix's snapshot identity, assigned at
@@ -72,29 +74,38 @@ func (m *RateMatrix) Rate(a, b trace.NodeID) float64 {
 	return m.rates[int(a)*m.n+int(b)]
 }
 
-// FromTrace builds the oracle rate matrix from the contacts starting in
-// [from, to). This is the converged-knowledge estimator used when a
-// protocol is granted full rate information; the online counterpart is
-// Estimator.
-func FromTrace(t *trace.Trace, from, to float64) (*RateMatrix, error) {
+// FromTrace builds the oracle rate store from the contacts starting in
+// [from, to), counting only observed pairs (O(contacts), never n²). The
+// backing is chosen automatically by node count. This is the
+// converged-knowledge estimator used when a protocol is granted full rate
+// information; the online counterpart is Estimator.
+func FromTrace(t *trace.Trace, from, to float64) (RateStore, error) {
+	return FromTraceBacking(t, from, to, BackingAuto)
+}
+
+// FromTraceBacking is FromTrace with an explicit backing choice.
+func FromTraceBacking(t *trace.Trace, from, to float64, b Backing) (RateStore, error) {
 	if to <= from {
 		return nil, fmt.Errorf("centrality: empty window [%v,%v)", from, to)
 	}
-	m := NewRateMatrix(t.N)
-	counts := make([]int, t.N*t.N)
+	m, err := NewRateStore(t.N, b)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
 	for _, c := range t.Contacts {
 		if c.Start >= from && c.Start < to {
-			counts[int(c.A)*t.N+int(c.B)]++
+			counts[trace.PairKey(c.A, c.B, t.N)]++
 		}
 	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	w := to - from
-	for a := 0; a < t.N; a++ {
-		for b := a + 1; b < t.N; b++ {
-			k := counts[a*t.N+b]
-			if k > 0 {
-				m.Set(trace.NodeID(a), trace.NodeID(b), float64(k)/w)
-			}
-		}
+	for _, k := range keys {
+		m.Set(trace.NodeID(k/t.N), trace.NodeID(k%t.N), float64(counts[k])/w)
 	}
 	return m, nil
 }
@@ -104,34 +115,78 @@ func FromTrace(t *trace.Trace, from, to float64) (*RateMatrix, error) {
 // would (contacts counted over elapsed time). A single Estimator models
 // the network-wide view that nodes converge to by transitively exchanging
 // contact histories on every contact — the standard assumption of this
-// paper family.
+// paper family. The backing mirrors the rate stores: a flat n×n count
+// slice for small networks, a pair-keyed map of observed pairs for large
+// ones.
 type Estimator struct {
 	n      int
 	start  float64
-	counts []int
+	counts []int       // dense backing; nil when sparse
+	sparse map[int]int // sparse backing, trace.PairKey → count; nil when dense
 }
 
-// NewEstimator returns an estimator for n nodes observing from startTime.
-func NewEstimator(n int, startTime float64) *Estimator {
+// NewEstimator returns an estimator for n nodes observing from startTime,
+// with the backing chosen automatically by node count.
+func NewEstimator(n int, startTime float64) (*Estimator, error) {
+	return NewEstimatorBacking(n, startTime, BackingAuto)
+}
+
+// NewEstimatorBacking is NewEstimator with an explicit backing choice.
+func NewEstimatorBacking(n int, startTime float64, b Backing) (*Estimator, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("centrality: non-positive node count %d", n))
+		return nil, fmt.Errorf("centrality: NewEstimator: non-positive node count %d", n)
 	}
-	return &Estimator{n: n, start: startTime, counts: make([]int, n*n)}
+	e := &Estimator{n: n, start: startTime}
+	switch b.resolve(n) {
+	case BackingSparse:
+		e.sparse = make(map[int]int)
+	default:
+		if err := checkDense("NewEstimator", n); err != nil {
+			return nil, err
+		}
+		e.counts = make([]int, n*n)
+	}
+	return e, nil
 }
 
 // Observe records one contact between a and b. The contact time is not
 // stored; rates derive from counts over the window.
 func (e *Estimator) Observe(a, b trace.NodeID) {
-	e.counts[int(a)*e.n+int(b)]++
-	e.counts[int(b)*e.n+int(a)]++
+	if e.counts != nil {
+		e.counts[int(a)*e.n+int(b)]++
+		e.counts[int(b)*e.n+int(a)]++
+		return
+	}
+	e.sparse[trace.PairKey(a, b, e.n)]++
 }
 
 // Counts returns a copy of the pairwise contact-count matrix, for
-// windowed estimation via RatesBetween.
+// windowed estimation via RatesBetween. It is defined only for the dense
+// backing and returns nil for a sparse estimator — backing-agnostic
+// consumers should use Snapshot and RatesBetweenSnapshots instead.
 func (e *Estimator) Counts() []int {
+	if e.counts == nil {
+		return nil
+	}
 	out := make([]int, len(e.counts))
 	copy(out, e.counts)
 	return out
+}
+
+// Snapshot returns an immutable copy of the current pairwise counts in
+// the estimator's own backing, for windowed estimation via
+// RatesBetweenSnapshots.
+func (e *Estimator) Snapshot() CountSnapshot {
+	if e.counts != nil {
+		out := make([]int, len(e.counts))
+		copy(out, e.counts)
+		return CountSnapshot{n: e.n, dense: out}
+	}
+	out := make(map[int]int, len(e.sparse))
+	for k, v := range e.sparse {
+		out[k] = v
+	}
+	return CountSnapshot{n: e.n, sparse: out}
 }
 
 // RatesBetween computes the rate matrix from the growth between two count
@@ -145,7 +200,10 @@ func RatesBetween(before, after []int, n int, window float64) (*RateMatrix, erro
 	if len(before) != n*n || len(after) != n*n {
 		return nil, fmt.Errorf("centrality: snapshot size mismatch (%d, %d, n=%d)", len(before), len(after), n)
 	}
-	m := NewRateMatrix(n)
+	m, err := NewRateMatrix(n)
+	if err != nil {
+		return nil, err
+	}
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			d := after[a*n+b] - before[a*n+b]
@@ -160,40 +218,71 @@ func RatesBetween(before, after []int, n int, window float64) (*RateMatrix, erro
 	return m, nil
 }
 
-// Rates snapshots the estimated rate matrix as of `now`.
-func (e *Estimator) Rates(now float64) (*RateMatrix, error) {
+// Rates snapshots the estimated rate store as of `now`.
+func (e *Estimator) Rates(now float64) (RateStore, error) {
 	window := now - e.start
 	if window <= 0 {
 		return nil, fmt.Errorf("centrality: no observation time elapsed (now=%v, start=%v)", now, e.start)
 	}
-	m := NewRateMatrix(e.n)
-	for a := 0; a < e.n; a++ {
-		for b := a + 1; b < e.n; b++ {
-			if k := e.counts[a*e.n+b]; k > 0 {
-				m.Set(trace.NodeID(a), trace.NodeID(b), float64(k)/window)
+	if e.counts != nil {
+		m, err := NewRateMatrix(e.n)
+		if err != nil {
+			return nil, err
+		}
+		for a := 0; a < e.n; a++ {
+			for b := a + 1; b < e.n; b++ {
+				if k := e.counts[a*e.n+b]; k > 0 {
+					m.Set(trace.NodeID(a), trace.NodeID(b), float64(k)/window)
+				}
 			}
 		}
+		return m, nil
 	}
-	return m, nil
+	s, err := NewSparseRates(e.n)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]int, 0, len(e.sparse))
+	for k := range e.sparse {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s.Set(trace.NodeID(k/e.n), trace.NodeID(k%e.n), float64(e.sparse[k])/window)
+	}
+	return s, nil
 }
 
 // Scores computes each node's cumulative-contact-probability centrality:
 // the expected fraction of other nodes it meets within the given time
-// window, C_i = (1/(N-1)) Σ_j (1 − e^{−λij·T}).
-func Scores(m *RateMatrix, window float64) []float64 {
-	scores := make([]float64, m.n)
-	if m.n == 1 {
+// window, C_i = (1/(N-1)) Σ_j (1 − e^{−λij·T}). Views that can enumerate
+// nonzero neighbors get an O(pairs) path; since ExpCDF(0, T) is exactly
+// 0, it is bit-identical to the dense full loop.
+func Scores(v RateView, window float64) []float64 {
+	n := v.N()
+	scores := make([]float64, n)
+	if n <= 1 {
 		return scores
 	}
-	for a := 0; a < m.n; a++ {
+	if nv, ok := v.(NeighborVisitor); ok {
+		for a := 0; a < n; a++ {
+			var sum float64
+			nv.VisitNeighbors(trace.NodeID(a), func(b trace.NodeID, rate float64) {
+				sum += stats.ExpCDF(rate, window)
+			})
+			scores[a] = sum / float64(n-1)
+		}
+		return scores
+	}
+	for a := 0; a < n; a++ {
 		var sum float64
-		for b := 0; b < m.n; b++ {
+		for b := 0; b < n; b++ {
 			if a == b {
 				continue
 			}
-			sum += stats.ExpCDF(m.Rate(trace.NodeID(a), trace.NodeID(b)), window)
+			sum += stats.ExpCDF(v.Rate(trace.NodeID(a), trace.NodeID(b)), window)
 		}
-		scores[a] = sum / float64(m.n-1)
+		scores[a] = sum / float64(n-1)
 	}
 	return scores
 }
@@ -222,42 +311,56 @@ func Rank(scores []float64) []trace.NodeID {
 // highest-centrality node, and later picks favor nodes covering regions
 // (communities) the current set misses — which is why plain top-k by
 // centrality is not used.
-func SelectCachingNodes(m *RateMatrix, window float64, k int) ([]trace.NodeID, error) {
-	return SelectCachingNodesExcluding(m, window, k, nil)
+func SelectCachingNodes(v RateView, window float64, k int) ([]trace.NodeID, error) {
+	return SelectCachingNodesExcluding(v, window, k, nil)
 }
 
 // SelectCachingNodesExcluding is SelectCachingNodes with a set of nodes
 // barred from selection — the engine excludes data sources, which already
-// hold their own items and would waste a caching slot.
-func SelectCachingNodesExcluding(m *RateMatrix, window float64, k int, exclude map[trace.NodeID]bool) ([]trace.NodeID, error) {
-	if k <= 0 || k > m.n-len(exclude) {
-		return nil, fmt.Errorf("centrality: cannot select %d caching nodes out of %d (%d excluded)", k, m.n, len(exclude))
+// hold their own items and would waste a caching slot. Zero-rate pairs
+// contribute exactly 0 to every gain and multiply notCovered by exactly
+// 1, so the O(degree) neighbor-visiting path is bit-identical to the
+// dense full loop.
+func SelectCachingNodesExcluding(v RateView, window float64, k int, exclude map[trace.NodeID]bool) ([]trace.NodeID, error) {
+	n := v.N()
+	if k <= 0 || k > n-len(exclude) {
+		return nil, fmt.Errorf("centrality: cannot select %d caching nodes out of %d (%d excluded)", k, n, len(exclude))
 	}
+	nv, fast := v.(NeighborVisitor)
 	// notCovered[j] = Π over selected s of (1 - p_sj); 1 when nothing
 	// selected yet.
-	notCovered := make([]float64, m.n)
+	notCovered := make([]float64, n)
 	for j := range notCovered {
 		notCovered[j] = 1
 	}
 	selected := make([]trace.NodeID, 0, k)
-	inSet := make([]bool, m.n)
+	inSet := make([]bool, n)
 
 	for len(selected) < k {
 		best := trace.NodeID(-1)
 		bestGain := -1.0
-		for cand := 0; cand < m.n; cand++ {
+		for cand := 0; cand < n; cand++ {
 			if inSet[cand] || exclude[trace.NodeID(cand)] {
 				continue
 			}
 			// Gain: candidate covers itself fully plus shrinks every other
 			// node's not-covered probability by (1 - p_cand,j).
 			gain := notCovered[cand]
-			for j := 0; j < m.n; j++ {
-				if j == cand || inSet[j] {
-					continue
+			if fast {
+				nv.VisitNeighbors(trace.NodeID(cand), func(j trace.NodeID, rate float64) {
+					if inSet[j] {
+						return
+					}
+					gain += notCovered[j] * stats.ExpCDF(rate, window)
+				})
+			} else {
+				for j := 0; j < n; j++ {
+					if j == cand || inSet[j] {
+						continue
+					}
+					p := stats.ExpCDF(v.Rate(trace.NodeID(cand), trace.NodeID(j)), window)
+					gain += notCovered[j] * p
 				}
-				p := stats.ExpCDF(m.Rate(trace.NodeID(cand), trace.NodeID(j)), window)
-				gain += notCovered[j] * p
 			}
 			if gain > bestGain {
 				bestGain = gain
@@ -267,12 +370,18 @@ func SelectCachingNodesExcluding(m *RateMatrix, window float64, k int, exclude m
 		selected = append(selected, best)
 		inSet[best] = true
 		notCovered[best] = 0
-		for j := 0; j < m.n; j++ {
-			if j == int(best) {
-				continue
+		if fast {
+			nv.VisitNeighbors(best, func(j trace.NodeID, rate float64) {
+				notCovered[j] *= 1 - stats.ExpCDF(rate, window)
+			})
+		} else {
+			for j := 0; j < n; j++ {
+				if j == int(best) {
+					continue
+				}
+				p := stats.ExpCDF(v.Rate(best, trace.NodeID(j)), window)
+				notCovered[j] *= 1 - p
 			}
-			p := stats.ExpCDF(m.Rate(best, trace.NodeID(j)), window)
-			notCovered[j] *= 1 - p
 		}
 	}
 	return selected, nil
@@ -309,15 +418,16 @@ func (p Placement) String() string {
 
 // Select picks k caching nodes under the given placement policy,
 // excluding the given nodes (data sources). seed drives PlaceRandom only.
-func Select(p Placement, m *RateMatrix, window float64, k int, exclude map[trace.NodeID]bool, seed int64) ([]trace.NodeID, error) {
-	if k <= 0 || k > m.n-len(exclude) {
-		return nil, fmt.Errorf("centrality: cannot select %d caching nodes out of %d (%d excluded)", k, m.n, len(exclude))
+func Select(p Placement, v RateView, window float64, k int, exclude map[trace.NodeID]bool, seed int64) ([]trace.NodeID, error) {
+	n := v.N()
+	if k <= 0 || k > n-len(exclude) {
+		return nil, fmt.Errorf("centrality: cannot select %d caching nodes out of %d (%d excluded)", k, n, len(exclude))
 	}
 	switch p {
 	case PlaceGreedyCoverage:
-		return SelectCachingNodesExcluding(m, window, k, exclude)
+		return SelectCachingNodesExcluding(v, window, k, exclude)
 	case PlaceTopCentrality:
-		ranked := Rank(Scores(m, window))
+		ranked := Rank(Scores(v, window))
 		out := make([]trace.NodeID, 0, k)
 		for _, id := range ranked {
 			if exclude[id] {
@@ -331,7 +441,7 @@ func Select(p Placement, m *RateMatrix, window float64, k int, exclude map[trace
 		return out, nil
 	case PlaceRandom:
 		rng := stats.Derive(seed, "centrality/random-placement")
-		perm := rng.Perm(m.n)
+		perm := rng.Perm(n)
 		out := make([]trace.NodeID, 0, k)
 		for _, idx := range perm {
 			id := trace.NodeID(idx)

@@ -9,8 +9,19 @@ import (
 	"freshcache/internal/trace"
 )
 
+// mustMatrix builds a dense matrix for tests where construction cannot
+// fail.
+func mustMatrix(t *testing.T, n int) *RateMatrix {
+	t.Helper()
+	m, err := NewRateMatrix(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestRateMatrixSymmetric(t *testing.T) {
-	m := NewRateMatrix(4)
+	m := mustMatrix(t, 4)
 	m.Set(1, 3, 0.5)
 	if m.Rate(1, 3) != 0.5 || m.Rate(3, 1) != 0.5 {
 		t.Fatalf("asymmetric: %v vs %v", m.Rate(1, 3), m.Rate(3, 1))
@@ -23,13 +34,13 @@ func TestRateMatrixSymmetric(t *testing.T) {
 	}
 }
 
-func TestNewRateMatrixPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for n=0")
-		}
-	}()
-	NewRateMatrix(0)
+func TestNewRateMatrixRejectsBadSizes(t *testing.T) {
+	if _, err := NewRateMatrix(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewRateMatrix(-3); err == nil {
+		t.Fatal("negative n accepted")
+	}
 }
 
 func TestFromTrace(t *testing.T) {
@@ -62,7 +73,10 @@ func TestEstimatorMatchesOracle(t *testing.T) {
 		{A: 0, B: 1, Start: 50, End: 51},
 		{A: 1, B: 2, Start: 60, End: 61},
 	}}
-	e := NewEstimator(3, 0)
+	e, err := NewEstimator(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range tr.Contacts {
 		e.Observe(c.A, c.B)
 	}
@@ -84,7 +98,10 @@ func TestEstimatorMatchesOracle(t *testing.T) {
 }
 
 func TestEstimatorNoElapsedTime(t *testing.T) {
-	e := NewEstimator(3, 100)
+	e, err := NewEstimator(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := e.Rates(100); err == nil {
 		t.Fatal("zero window accepted")
 	}
@@ -95,7 +112,7 @@ func TestEstimatorNoElapsedTime(t *testing.T) {
 
 func TestScores(t *testing.T) {
 	// Star topology: node 0 meets everyone, leaves meet only node 0.
-	m := NewRateMatrix(5)
+	m := mustMatrix(t, 5)
 	for i := 1; i < 5; i++ {
 		m.Set(0, trace.NodeID(i), 0.1)
 	}
@@ -118,7 +135,7 @@ func TestScores(t *testing.T) {
 }
 
 func TestScoresSingleNode(t *testing.T) {
-	scores := Scores(NewRateMatrix(1), 100)
+	scores := Scores(mustMatrix(t, 1), 100)
 	if len(scores) != 1 || scores[0] != 0 {
 		t.Fatalf("scores = %v", scores)
 	}
@@ -135,7 +152,7 @@ func TestRank(t *testing.T) {
 }
 
 func TestSelectCachingNodesStar(t *testing.T) {
-	m := NewRateMatrix(5)
+	m := mustMatrix(t, 5)
 	for i := 1; i < 5; i++ {
 		m.Set(0, trace.NodeID(i), 0.1)
 	}
@@ -151,7 +168,7 @@ func TestSelectCachingNodesStar(t *testing.T) {
 func TestSelectCachingNodesCoversCommunities(t *testing.T) {
 	// Two disjoint cliques {0,1,2} and {3,4,5}; selecting 2 nodes must
 	// take one from each clique even though all six have equal centrality.
-	m := NewRateMatrix(6)
+	m := mustMatrix(t, 6)
 	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}} {
 		m.Set(trace.NodeID(pair[0]), trace.NodeID(pair[1]), 0.5)
 	}
@@ -166,7 +183,7 @@ func TestSelectCachingNodesCoversCommunities(t *testing.T) {
 }
 
 func TestSelectCachingNodesBounds(t *testing.T) {
-	m := NewRateMatrix(4)
+	m := mustMatrix(t, 4)
 	if _, err := SelectCachingNodes(m, 100, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}

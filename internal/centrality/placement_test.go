@@ -7,7 +7,7 @@ import (
 	"freshcache/internal/trace"
 )
 
-func placementMatrix(t *testing.T) *RateMatrix {
+func placementMatrix(t *testing.T) RateStore {
 	t.Helper()
 	g := &mobility.Community{
 		TraceName: "pl", N: 30, Duration: 15 * mobility.Day, Communities: 3,

@@ -1,0 +1,463 @@
+package centrality
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// seededTrace builds a deterministic contact trace with a mix of frequent
+// and rare pairs, for exercising both backings on the same input.
+func seededTrace(t *testing.T, n int, seed int64) *trace.Trace {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	tr := &trace.Trace{Name: "diff", N: n, Duration: 10000}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() > 0.3 {
+				continue
+			}
+			contacts := 1 + rng.Intn(5)
+			for c := 0; c < contacts; c++ {
+				start := rng.Float64() * 9000
+				tr.Contacts = append(tr.Contacts, trace.Contact{
+					A: trace.NodeID(a), B: trace.NodeID(b), Start: start, End: start + 60,
+				})
+			}
+		}
+	}
+	tr.Normalize()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// bothBackings builds the same trace's rates under dense and sparse
+// backing.
+func bothBackings(t *testing.T, tr *trace.Trace) (dense, sparse RateStore) {
+	t.Helper()
+	d, err := FromTraceBacking(tr, 0, tr.Duration, BackingDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromTraceBacking(tr, 0, tr.Duration, BackingSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(*RateMatrix); !ok {
+		t.Fatalf("dense backing produced %T", d)
+	}
+	if _, ok := s.(*SparseRates); !ok {
+		t.Fatalf("sparse backing produced %T", s)
+	}
+	return d, s
+}
+
+// TestSparseDenseRatesIdentical: every pairwise rate must be bit-identical
+// across backings built from the same trace.
+func TestSparseDenseRatesIdentical(t *testing.T) {
+	tr := seededTrace(t, 40, 1)
+	d, s := bothBackings(t, tr)
+	for a := 0; a < tr.N; a++ {
+		for b := 0; b < tr.N; b++ {
+			dr := d.Rate(trace.NodeID(a), trace.NodeID(b))
+			sr := s.Rate(trace.NodeID(a), trace.NodeID(b))
+			if dr != sr {
+				t.Fatalf("Rate(%d,%d): dense %v, sparse %v", a, b, dr, sr)
+			}
+		}
+	}
+}
+
+// TestSparseDenseScoresIdentical: centrality scores — the O(pairs)
+// NeighborVisitor path vs the dense full loop — must be bit-identical.
+func TestSparseDenseScoresIdentical(t *testing.T) {
+	tr := seededTrace(t, 40, 2)
+	d, s := bothBackings(t, tr)
+	ds := Scores(d, 3600)
+	ss := Scores(s, 3600)
+	if !reflect.DeepEqual(ds, ss) {
+		t.Fatalf("Scores diverged:\ndense  %v\nsparse %v", ds, ss)
+	}
+	// And against a visitor-free view of the same rates, forcing the
+	// generic fallback loop.
+	fs := Scores(plainView{s}, 3600)
+	if !reflect.DeepEqual(ds, fs) {
+		t.Fatalf("fallback Scores diverged:\ndense    %v\nfallback %v", ds, fs)
+	}
+}
+
+// plainView strips the NeighborVisitor fast path off a RateView.
+type plainView struct{ v RateView }
+
+func (p plainView) N() int                         { return p.v.N() }
+func (p plainView) Rate(a, b trace.NodeID) float64 { return p.v.Rate(a, b) }
+
+// TestSparseDenseSelectionIdentical: greedy NCL selection must pick the
+// same nodes in the same order on either backing (and on the
+// visitor-free fallback).
+func TestSparseDenseSelectionIdentical(t *testing.T) {
+	tr := seededTrace(t, 50, 3)
+	d, s := bothBackings(t, tr)
+	for _, k := range []int{1, 4, 8} {
+		dn, err := SelectCachingNodes(d, 6*3600, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, err := SelectCachingNodes(s, 6*3600, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dn, sn) {
+			t.Fatalf("k=%d: dense selected %v, sparse %v", k, dn, sn)
+		}
+		fn, err := SelectCachingNodes(plainView{s}, 6*3600, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dn, fn) {
+			t.Fatalf("k=%d: dense selected %v, fallback %v", k, dn, fn)
+		}
+	}
+	exclude := map[trace.NodeID]bool{0: true, 7: true}
+	dn, err := SelectCachingNodesExcluding(d, 6*3600, 6, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := SelectCachingNodesExcluding(s, 6*3600, 6, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dn, sn) {
+		t.Fatalf("excluding: dense selected %v, sparse %v", dn, sn)
+	}
+}
+
+// TestEstimatorBackingsIdentical: the same observation sequence must
+// produce bit-identical rates through either estimator backing, both via
+// Rates and via the snapshot/windowed-rebuild path.
+func TestEstimatorBackingsIdentical(t *testing.T) {
+	const n = 30
+	de, err := NewEstimatorBacking(n, 100, BackingDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewEstimatorBacking(n, 100, BackingSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	observe := func(a, b trace.NodeID) { de.Observe(a, b); se.Observe(a, b) }
+	for i := 0; i < 500; i++ {
+		a := trace.NodeID(rng.Intn(n))
+		b := trace.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		observe(a, b)
+	}
+	db0, sb0 := de.Snapshot(), se.Snapshot()
+	for i := 0; i < 300; i++ {
+		a := trace.NodeID(rng.Intn(n))
+		b := trace.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		observe(a, b)
+	}
+	dr, err := de.Rates(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := se.Rates(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViewsEqual(t, dr, sr)
+
+	dw, err := RatesBetweenSnapshots(db0, de.Snapshot(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := RatesBetweenSnapshots(sb0, se.Snapshot(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViewsEqual(t, dw, sw)
+}
+
+func assertViewsEqual(t *testing.T, x, y RateView) {
+	t.Helper()
+	if x.N() != y.N() {
+		t.Fatalf("N: %d vs %d", x.N(), y.N())
+	}
+	for a := 0; a < x.N(); a++ {
+		for b := 0; b < x.N(); b++ {
+			xr := x.Rate(trace.NodeID(a), trace.NodeID(b))
+			yr := y.Rate(trace.NodeID(a), trace.NodeID(b))
+			if xr != yr {
+				t.Fatalf("Rate(%d,%d): %v vs %v", a, b, xr, yr)
+			}
+		}
+	}
+}
+
+// TestSparseRatesBasics pins the SparseRates container semantics shared
+// with RateMatrix: symmetry, overwrite, self-rate zero, out-of-range
+// zero, ascending neighbor iteration.
+func TestSparseRatesBasics(t *testing.T) {
+	s, err := NewSparseRates(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set(3, 7, 0.5)
+	s.Set(7, 2, 0.25)
+	s.Set(3, 7, 0.125) // overwrite, not accumulate
+	if got := s.Rate(3, 7); got != 0.125 {
+		t.Fatalf("Rate(3,7) = %v", got)
+	}
+	if got := s.Rate(7, 3); got != 0.125 {
+		t.Fatalf("Rate(7,3) = %v (not symmetric)", got)
+	}
+	if got := s.Rate(4, 4); got != 0 {
+		t.Fatalf("self Rate = %v", got)
+	}
+	if got := s.Rate(3, 5); got != 0 {
+		t.Fatalf("unset Rate = %v", got)
+	}
+	if got := s.Pairs(); got != 2 {
+		t.Fatalf("Pairs = %d, want 2", got)
+	}
+	var order []trace.NodeID
+	s.VisitNeighbors(7, func(b trace.NodeID, rate float64) {
+		order = append(order, b)
+		if rate <= 0 {
+			t.Fatalf("visited zero rate at %d", b)
+		}
+	})
+	if !reflect.DeepEqual(order, []trace.NodeID{2, 3}) {
+		t.Fatalf("neighbors of 7 = %v, want [2 3]", order)
+	}
+	if s.Epoch() == 0 {
+		t.Fatal("sparse store has zero epoch")
+	}
+}
+
+// TestRateMatrixVisitNeighbors: the dense visitor must enumerate exactly
+// the nonzero neighbors in ascending order, skipping self.
+func TestRateMatrixVisitNeighbors(t *testing.T) {
+	m, err := NewRateMatrix(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(2, 0, 1.0)
+	m.Set(2, 5, 2.0)
+	var got []trace.NodeID
+	m.VisitNeighbors(2, func(b trace.NodeID, rate float64) { got = append(got, b) })
+	if !reflect.DeepEqual(got, []trace.NodeID{0, 5}) {
+		t.Fatalf("neighbors = %v, want [0 5]", got)
+	}
+}
+
+// --- size guards and error paths ---
+
+// TestDenseSizeGuard: every dense constructor must reject node counts
+// beyond MaxDenseNodes with a SizeError instead of attempting the n²
+// allocation.
+func TestDenseSizeGuard(t *testing.T) {
+	big := MaxDenseNodes + 1
+	if _, err := NewRateMatrix(big); !isSizeError(err, big) {
+		t.Fatalf("NewRateMatrix(%d): %v", big, err)
+	}
+	if _, err := NewRateStore(big, BackingDense); !isSizeError(err, big) {
+		t.Fatalf("NewRateStore(%d, dense): %v", big, err)
+	}
+	if _, err := NewEstimatorBacking(big, 0, BackingDense); !isSizeError(err, big) {
+		t.Fatalf("NewEstimatorBacking(%d, dense): %v", big, err)
+	}
+	tr := &trace.Trace{Name: "big", N: big, Duration: 1}
+	if _, err := FromTraceBacking(tr, 0, 1, BackingDense); !isSizeError(err, big) {
+		t.Fatalf("FromTraceBacking(%d, dense): %v", big, err)
+	}
+	// Auto backing must transparently go sparse at the same size.
+	st, err := NewRateStore(big, BackingAuto)
+	if err != nil {
+		t.Fatalf("NewRateStore(%d, auto): %v", big, err)
+	}
+	if _, ok := st.(*SparseRates); !ok {
+		t.Fatalf("auto backing above the dense ceiling produced %T", st)
+	}
+}
+
+func isSizeError(err error, wantN int) bool {
+	var se *SizeError
+	return errors.As(err, &se) && se.N == wantN
+}
+
+// TestConstructorsRejectNonPositiveN covers the plain-error path below the
+// ceiling.
+func TestConstructorsRejectNonPositiveN(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := NewSparseRates(n); err == nil {
+			t.Fatalf("NewSparseRates(%d) accepted", n)
+		}
+		if _, err := NewRateStore(n, BackingSparse); err == nil {
+			t.Fatalf("NewRateStore(%d) accepted", n)
+		}
+		if _, err := NewEstimatorBacking(n, 0, BackingSparse); err == nil {
+			t.Fatalf("NewEstimatorBacking(%d) accepted", n)
+		}
+	}
+}
+
+// TestRatesBetweenErrors covers the windowed-rebuild error paths.
+func TestRatesBetweenErrors(t *testing.T) {
+	good := make([]int, 9)
+	if _, err := RatesBetween(good, good, 3, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := RatesBetween(good, good, 3, -5); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := RatesBetween(make([]int, 4), good, 3, 1); err == nil {
+		t.Fatal("mismatched before length accepted")
+	}
+	if _, err := RatesBetween(good, make([]int, 4), 3, 1); err == nil {
+		t.Fatal("mismatched after length accepted")
+	}
+	before := []int{0, 2, 2, 0}
+	after := []int{0, 1, 1, 0}
+	if _, err := RatesBetween(before, after, 2, 1); err == nil {
+		t.Fatal("backwards counts accepted")
+	}
+}
+
+// TestRatesBetweenSnapshotsErrors covers the backing-agnostic variant:
+// non-positive window, node-count mismatch, mixed backings, and backwards
+// counts in both directions (a key decremented and a key deleted).
+func TestRatesBetweenSnapshotsErrors(t *testing.T) {
+	mk := func(n int, b Backing, obs ...[2]int) CountSnapshot {
+		e, err := NewEstimatorBacking(n, 0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obs {
+			e.Observe(trace.NodeID(o[0]), trace.NodeID(o[1]))
+		}
+		return e.Snapshot()
+	}
+	sp := mk(4, BackingSparse, [2]int{0, 1})
+	de := mk(4, BackingDense, [2]int{0, 1})
+	if _, err := RatesBetweenSnapshots(sp, sp, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := RatesBetweenSnapshots(mk(3, BackingSparse), sp, 1); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	if _, err := RatesBetweenSnapshots(de, sp, 1); err == nil {
+		t.Fatal("dense before + sparse after accepted")
+	}
+	if _, err := RatesBetweenSnapshots(sp, de, 1); err == nil {
+		t.Fatal("sparse before + dense after accepted")
+	}
+	// Counts only grow: a later snapshot with fewer observations at a
+	// shared key, or a key that disappeared entirely, is corruption.
+	two := mk(4, BackingSparse, [2]int{0, 1}, [2]int{0, 1})
+	if _, err := RatesBetweenSnapshots(two, sp, 1); err == nil {
+		t.Fatal("decremented pair accepted")
+	}
+	other := mk(4, BackingSparse, [2]int{2, 3})
+	if _, err := RatesBetweenSnapshots(sp, other, 1); err == nil {
+		t.Fatal("vanished pair accepted")
+	}
+	// The happy path still works and divides by the window.
+	r, err := RatesBetweenSnapshots(sp, two, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rate(0, 1); got != 0.25 {
+		t.Fatalf("windowed rate = %v, want 0.25", got)
+	}
+}
+
+// TestEstimatorErrorPaths covers Rates before any time elapsed and the
+// Counts contract across backings.
+func TestEstimatorErrorPaths(t *testing.T) {
+	e, err := NewEstimatorBacking(5, 100, BackingSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Rates(100); err == nil {
+		t.Fatal("Rates at start time accepted")
+	}
+	if _, err := e.Rates(50); err == nil {
+		t.Fatal("Rates before start time accepted")
+	}
+	if got := e.Counts(); got != nil {
+		t.Fatalf("sparse Counts = %v, want nil", got)
+	}
+	d, err := NewEstimatorBacking(5, 100, BackingDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(1, 2)
+	if got := d.Counts(); len(got) != 25 || got[1*5+2] != 1 || got[2*5+1] != 1 {
+		t.Fatalf("dense Counts = %v", got)
+	}
+}
+
+// TestFromTraceErrors covers the trace-conversion error paths.
+func TestFromTraceErrors(t *testing.T) {
+	tr := seededTrace(t, 10, 5)
+	if _, err := FromTrace(tr, 5, 5); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := FromTrace(tr, 10, 2); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	bad := &trace.Trace{Name: "bad", N: 0, Duration: 1}
+	if _, err := FromTrace(bad, 0, 1); err == nil {
+		t.Fatal("zero-node trace accepted")
+	}
+}
+
+// TestEmptyView pins the fallback view used before any rates exist.
+func TestEmptyView(t *testing.T) {
+	v := EmptyView(7)
+	if v.N() != 7 {
+		t.Fatalf("N = %d", v.N())
+	}
+	if v.Rate(0, 1) != 0 {
+		t.Fatal("nonzero rate from empty view")
+	}
+	if nv, ok := v.(NeighborVisitor); ok {
+		nv.VisitNeighbors(0, func(b trace.NodeID, rate float64) {
+			t.Fatalf("empty view visited neighbor %d", b)
+		})
+	}
+	scores := Scores(v, 3600)
+	for i, s := range scores {
+		if s != 0 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v on empty view", i, s)
+		}
+	}
+}
+
+// TestBackingString pins the enum labels (they appear in logs and test
+// names).
+func TestBackingString(t *testing.T) {
+	cases := map[Backing]string{BackingAuto: "auto", BackingDense: "dense", BackingSparse: "sparse"}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Fatalf("Backing(%d).String() = %q, want %q", b, got, want)
+		}
+	}
+	if got := Backing(99).String(); got == "" {
+		t.Fatal("unknown backing produced empty string")
+	}
+}

@@ -46,7 +46,7 @@ type Rebuilder interface {
 type Runtime struct {
 	N            int
 	Catalog      *cache.Catalog
-	Rates        *centrality.RateMatrix
+	Rates        centrality.RateStore
 	CachingNodes []trace.NodeID
 	Epoch        float64 // measurement-phase start
 	Horizon      float64 // simulation end
@@ -90,8 +90,8 @@ func (rt *Runtime) RatesFor(node trace.NodeID) centrality.RateView {
 	v, err := rt.eng.distEst.View(node, rt.eng.sim.Now())
 	if err != nil {
 		// Before any observation time has elapsed there is nothing to
-		// know; an empty matrix is the honest answer.
-		return centrality.NewRateMatrix(rt.N)
+		// know; an empty view is the honest answer.
+		return centrality.EmptyView(rt.N)
 	}
 	return v
 }
@@ -253,6 +253,13 @@ type Config struct {
 	// identical by construction; the mode exists for the differential
 	// determinism tests and costs the old per-event heap overhead.
 	ReferenceScheduler bool
+	// RateBacking selects the contact-rate representation: BackingAuto
+	// (default) uses the dense n×n matrix for small traces and sorted
+	// per-node neighbor lists above centrality.AutoSparseThreshold nodes.
+	// The sparse path is bit-identical to the dense one (zero-rate pairs
+	// contribute exactly nothing to selection, scores and plans); the
+	// explicit settings exist for the differential tests.
+	RateBacking centrality.Backing
 }
 
 func (c *Config) withDefaults() Config {
@@ -413,7 +420,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 func (e *Engine) Run() (metrics.Result, error) {
 	start := time.Now()
 
-	estimator := centrality.NewEstimator(e.cfg.Trace.N, 0)
+	estimator, err := centrality.NewEstimatorBacking(e.cfg.Trace.N, 0, e.cfg.RateBacking)
+	if err != nil {
+		return metrics.Result{}, err
+	}
 	if e.cfg.Knowledge == KnowledgeDistributed {
 		e.distEst = centrality.NewDistributedEstimator(e.cfg.Trace.N, 0)
 	}
@@ -611,12 +621,12 @@ func (e *Engine) startMeasurement(est *centrality.Estimator, now float64) error 
 			// Rebuilds estimate rates over the window since the previous
 			// (re)build, so they track drift instead of averaging over
 			// every regime ever seen.
-			lastCounts := est.Counts()
+			lastCounts := est.Snapshot()
 			lastTime := now
 			for t := now + e.cfg.RebuildInterval; t < e.horizon; t += e.cfg.RebuildInterval {
 				if _, err := e.sim.ScheduleAt(t, func(tnow float64) {
-					cur := est.Counts()
-					fresh, err := centrality.RatesBetween(lastCounts, cur, e.cfg.Trace.N, tnow-lastTime)
+					cur := est.Snapshot()
+					fresh, err := centrality.RatesBetweenSnapshots(lastCounts, cur, tnow-lastTime)
 					if err != nil {
 						return
 					}

@@ -31,7 +31,10 @@ func TestTwoHopProbBelowEitherLeg(t *testing.T) {
 
 // ratesWith builds a rate matrix over n nodes from explicit pairs.
 func ratesWith(n int, pairs map[[2]int]float64) *centrality.RateMatrix {
-	m := centrality.NewRateMatrix(n)
+	m, err := centrality.NewRateMatrix(n)
+	if err != nil {
+		panic(err)
+	}
 	for p, r := range pairs {
 		m.Set(trace.NodeID(p[0]), trace.NodeID(p[1]), r)
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"freshcache/internal/centrality"
+	"freshcache/internal/stats"
+	"freshcache/internal/trace"
+)
+
+// randomStores builds the same random rate structure under dense and
+// sparse backing.
+func randomStores(t *testing.T, n int, seed int64) (dense, sparse centrality.RateStore) {
+	t.Helper()
+	d, err := centrality.NewRateStore(n, centrality.BackingDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := centrality.NewRateStore(n, centrality.BackingSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() > 0.4 {
+				continue
+			}
+			r := stats.Exp(rng, 7200)
+			d.Set(trace.NodeID(a), trace.NodeID(b), r)
+			s.Set(trace.NodeID(a), trace.NodeID(b), r)
+		}
+	}
+	return d, s
+}
+
+// TestPlanReplicationSparseDenseIdentical: the probabilistic replication
+// planner must produce an identical plan — same relays, same order, same
+// probabilities — whether the rates live in the dense matrix or the
+// sparse store. PlanReplication reads rates pair by pair, so this pins
+// the two backings' Rate lookups to bit-identical behavior under the
+// planner's access pattern.
+func TestPlanReplicationSparseDenseIdentical(t *testing.T) {
+	const n = 60
+	d, s := randomStores(t, n, 11)
+	cands := make([]trace.NodeID, 0, n-2)
+	for i := 2; i < n; i++ {
+		cands = append(cands, trace.NodeID(i))
+	}
+	for _, budget := range []float64{600, 3600, 12 * 3600} {
+		dp, derr := PlanReplication(d, 0, 1, cands, budget, 0.95, 0)
+		sp, serr := PlanReplication(s, 0, 1, cands, budget, 0.95, 0)
+		if (derr == nil) != (serr == nil) {
+			t.Fatalf("budget %v: dense err %v, sparse err %v", budget, derr, serr)
+		}
+		if derr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(dp, sp) {
+			t.Fatalf("budget %v: plans diverged\ndense  %+v\nsparse %+v", budget, dp, sp)
+		}
+	}
+}
+
+// TestBuildTreeSparseDenseIdentical: the refresh-hierarchy builder must
+// construct the same tree on either backing.
+func TestBuildTreeSparseDenseIdentical(t *testing.T) {
+	const n = 60
+	d, s := randomStores(t, n, 12)
+	caching := make([]trace.NodeID, 16)
+	for i := range caching {
+		caching[i] = trace.NodeID(i + 1)
+	}
+	dt, err := BuildTree(d, 0, caching, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := BuildTree(s, 0, caching, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dt, st) {
+		t.Fatalf("trees diverged\ndense  %+v\nsparse %+v", dt, st)
+	}
+}

@@ -43,12 +43,21 @@ type BenchReport struct {
 	E2AllocsPerOp float64 `json:"e2AllocsPerOp"`
 	E2BytesPerOp  float64 `json:"e2BytesPerOp"`
 	CellsPerSec   float64 `json:"cellsPerSec"`
+
+	// One quick-mode E21 run (sparse large-N path: O(contacts) trace
+	// generation, sparse rate structures, full pipeline). Normalized per
+	// contact so the number is comparable as the scenario grows.
+	LargeNNodes            int     `json:"largeNNodes"`
+	LargeNContacts         int     `json:"largeNContacts"`
+	LargeNNsPerContact     float64 `json:"largeNNsPerContact"`
+	LargeNAllocsPerContact float64 `json:"largeNAllocsPerContact"`
+	LargeNBytesPerContact  float64 `json:"largeNBytesPerContact"`
 }
 
 // BenchSchema identifies the report layout for downstream tooling.
 // Version 2 added timingMethod and switched ns sampling from best-of-3 to
-// median-of-5.
-const BenchSchema = "freshcache-bench/2"
+// median-of-5. Version 3 added the large-N sparse-path section.
+const BenchSchema = "freshcache-bench/3"
 
 // BenchRounds is how many times each benchmark section repeats; ns fields
 // report the median round (see BenchTimingMethod).
@@ -146,6 +155,40 @@ func RunBench(seed int64) (BenchReport, error) {
 	if rep.E2NsPerOp > 0 {
 		rep.CellsPerSec = float64(rep.E2Cells) / (rep.E2NsPerOp / 1e9)
 	}
+
+	// Section 3: the large-N sparse path — one quick-mode E21 scenario.
+	// The trace is regenerated each round (cheap, O(contacts)) but only
+	// the engine run is measured, so the per-contact fields gate the
+	// sparse protocol path, not the sampler.
+	rep.LargeNNodes = largeNQuickNodes
+	nsSamples = nsSamples[:0]
+	for round := 0; round < BenchRounds; round++ {
+		ltr, err := largeNTrace(largeNQuickNodes, seed)
+		if err != nil {
+			return rep, fmt.Errorf("bench largeN trace: %w", err)
+		}
+		lsc := defaultScenario(rep.Preset, seed)
+		lsc.NumCachingNodes = 64
+		lsc.RefreshInterval = 12 * mobility.Hour
+		var eng *core.Engine
+		elapsed, mallocs, bytes, err := memDelta(func() error {
+			var err error
+			_, eng, err = lsc.RunOnTrace(core.NewHierarchical(), ltr)
+			return err
+		})
+		if err != nil {
+			return rep, fmt.Errorf("bench largeN: %w", err)
+		}
+		contacts := eng.ContactsDispatched()
+		if contacts == 0 {
+			return rep, fmt.Errorf("bench largeN dispatched no contacts")
+		}
+		nsSamples = append(nsSamples, float64(elapsed.Nanoseconds())/float64(contacts))
+		rep.LargeNContacts = contacts
+		rep.LargeNAllocsPerContact = float64(mallocs) / float64(contacts)
+		rep.LargeNBytesPerContact = float64(bytes) / float64(contacts)
+	}
+	rep.LargeNNsPerContact = median(nsSamples)
 	return rep, nil
 }
 

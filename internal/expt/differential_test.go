@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"freshcache/internal/centrality"
 	"freshcache/internal/metrics"
 	"freshcache/internal/obs"
 )
@@ -22,17 +23,24 @@ type suiteExports struct {
 // two-stream scheduler (ref=false) or the single-heap reference core
 // (ref=true) and captures all exports.
 func runExports(t *testing.T, id string, ref bool) suiteExports {
+	return runExportsOpts(t, id, func(o *Options) { o.ReferenceScheduler = ref })
+}
+
+// runExportsOpts is the generalized capture: tweak mutates the baseline
+// options before the run, so any pair of configurations can be diffed.
+func runExportsOpts(t *testing.T, id string, tweak func(*Options)) suiteExports {
 	t.Helper()
 	e, err := ByID(id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := obs.NewObserver(obs.Config{SampleEvery: 1, Lineage: true, TimelineTick: 6 * 3600})
-	tables, err := e.Run(Options{
+	opts := Options{
 		Seed: 42, Quick: true, Parallel: 4,
 		Stats: metrics.NewRunStats(), Obs: o,
-		ReferenceScheduler: ref,
-	})
+	}
+	tweak(&opts)
+	tables, err := e.Run(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,4 +119,18 @@ func TestDifferentialChurnAgainstReferenceScheduler(t *testing.T) {
 	two := runExports(t, "E11", false)
 	ref := runExports(t, "E11", true)
 	diffExports(t, "E11", two, ref)
+}
+
+// TestDifferentialSparseRateBacking is the oracle for the sparse contact-
+// rate structures: the full quick E2 sweep forced onto SparseRates must be
+// byte-identical — event order, metrics, lineage, timeline, tables — to
+// the same sweep on the dense matrix. (At quick-suite sizes the automatic
+// backing picks dense, so the sparse side must be forced explicitly.)
+func TestDifferentialSparseRateBacking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick E2 sweep twice with unsampled tracing")
+	}
+	sparse := runExportsOpts(t, "E2", func(o *Options) { o.RateBacking = centrality.BackingSparse })
+	dense := runExportsOpts(t, "E2", func(o *Options) { o.RateBacking = centrality.BackingDense })
+	diffExports(t, "E2", sparse, dense)
 }

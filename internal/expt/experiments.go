@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"freshcache/internal/centrality"
 	"freshcache/internal/core"
 	"freshcache/internal/eventsim"
 	"freshcache/internal/metrics"
@@ -63,6 +64,11 @@ type Options struct {
 	// attempts, single-worker alloc deltas, optional CPU profiles) across
 	// every sweep for the cross-run results store.
 	Costs *CellCosts
+	// RateBacking forces the engine's contact-rate representation for
+	// every run (dense matrix vs sorted neighbor lists). The zero value
+	// picks automatically by node count; the explicit settings exist for
+	// the sparse-vs-dense differential tests.
+	RateBacking centrality.Backing
 }
 
 // record folds one run's result into the optional stats accumulator.
@@ -236,6 +242,7 @@ func All() []Experiment {
 		{ID: "E18", Title: "Query delegation: relayed data access", PaperAnalogue: "extension", Run: runE18},
 		{ID: "E19", Title: "Cache freshness over time", PaperAnalogue: "freshness time-series figure", Run: runE19},
 		{ID: "E20", Title: "Hierarchy fan-out ablation", PaperAnalogue: "design-choice ablation", Run: runE20},
+		{ID: "E21", Title: "Large-N community trace through the full pipeline", PaperAnalogue: "scalability extension", Run: runE21},
 	}
 }
 
@@ -293,6 +300,7 @@ func runSweepCell(opts Options, c Cell, mutate func(sc *Scenario), extract func(
 	}
 	sc.ContactTimeline = tl
 	sc.ReferenceScheduler = opts.ReferenceScheduler
+	sc.RateBacking = opts.RateBacking
 	reuse := getReuse()
 	defer putReuse(reuse)
 	sc.Reuse = reuse

@@ -13,10 +13,77 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"freshcache/internal/stats"
 	"freshcache/internal/trace"
 )
+
+// sparsePairThreshold is the node count at which the pairwise generators
+// switch from the N² Bernoulli pair loop to O(active pairs) sampling:
+// a binomial draw of the active-pair count plus uniform pair-index
+// decoding. The two procedures are distributionally identical (a
+// sequence of P independent Bernoulli(p) trials conditions to a
+// Binomial(P, p) count with the successes uniform without replacement),
+// but they consume the RNG differently, so the legacy loop is kept
+// verbatim below the threshold to preserve the byte-exact traces of
+// every calibrated preset.
+const sparsePairThreshold = 1024
+
+// pairCount returns the number of unordered node pairs C(n,2).
+func pairCount(n int) int64 {
+	return int64(n) * int64(n-1) / 2
+}
+
+// pairOffset returns the index of pair (a, a+1) in the row-major
+// upper-triangle enumeration (0,1),(0,2),…,(1,2),… of n nodes.
+func pairOffset(a, n int64) int64 {
+	return a * (2*n - a - 1) / 2
+}
+
+// pairFromIndex decodes a row-major upper-triangle pair index into its
+// (a, b) node pair, a < b. The row is estimated by solving the quadratic
+// offset equation in floats and fixed up exactly.
+func pairFromIndex(k int64, n int) (int, int) {
+	nn := int64(n)
+	est := (float64(2*nn-1) - math.Sqrt(float64((2*nn-1)*(2*nn-1)-8*k))) / 2
+	a := int64(est)
+	if a < 0 {
+		a = 0
+	}
+	if a > nn-2 {
+		a = nn - 2
+	}
+	for a > 0 && pairOffset(a, nn) > k {
+		a--
+	}
+	for a < nn-2 && pairOffset(a+1, nn) <= k {
+		a++
+	}
+	b := a + 1 + (k - pairOffset(a, nn))
+	return int(a), int(b)
+}
+
+// samplePairIndices draws a binomial count of active pairs out of total
+// with the given per-pair probability, then picks that many distinct pair
+// indices uniformly (rejection-sampled, so the caller should keep p well
+// below 1). The result is sorted ascending so downstream rate draws
+// consume the RNG in a deterministic pair order.
+func samplePairIndices(rng *rand.Rand, total int64, p float64) []int64 {
+	k := stats.Binomial(rng, total, p)
+	chosen := make(map[int64]struct{}, k)
+	idx := make([]int64, 0, k)
+	for int64(len(idx)) < k {
+		c := rng.Int63n(total)
+		if _, dup := chosen[c]; dup {
+			continue
+		}
+		chosen[c] = struct{}{}
+		idx = append(idx, c)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx
+}
 
 // Generator produces a contact trace from a seed.
 type Generator interface {
@@ -104,13 +171,24 @@ func (g *HeterogeneousExp) Generate(seed int64) (*trace.Trace, error) {
 	rng := stats.Derive(seed, "mobility/hetexp/"+g.TraceName)
 	t := &trace.Trace{Name: g.TraceName, N: g.N, Duration: g.Duration}
 	scale := g.MeanRate / g.RateShape
-	for a := 0; a < g.N; a++ {
-		for b := a + 1; b < g.N; b++ {
-			if rng.Float64() >= g.PairFraction {
-				continue
-			}
+	if g.N >= sparsePairThreshold && g.PairFraction <= 0.5 {
+		// O(active pairs): draw how many pairs meet, then which ones —
+		// distributionally identical to the Bernoulli loop below without
+		// touching the (1−p)·N² never-meeting pairs.
+		for _, c := range samplePairIndices(rng, pairCount(g.N), g.PairFraction) {
+			a, b := pairFromIndex(c, g.N)
 			rate := stats.Gamma(rng, g.RateShape, scale)
 			pairProcess(rng, trace.NodeID(a), trace.NodeID(b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
+		}
+	} else {
+		for a := 0; a < g.N; a++ {
+			for b := a + 1; b < g.N; b++ {
+				if rng.Float64() >= g.PairFraction {
+					continue
+				}
+				rate := stats.Gamma(rng, g.RateShape, scale)
+				pairProcess(rng, trace.NodeID(a), trace.NodeID(b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
+			}
 		}
 	}
 	t.Normalize()
@@ -195,25 +273,29 @@ func (g *Community) Generate(seed int64) (*trace.Trace, error) {
 	}
 
 	t := &trace.Trace{Name: g.TraceName, N: g.N, Duration: g.Duration}
-	for a := 0; a < g.N; a++ {
-		for b := a + 1; b < g.N; b++ {
-			var mean float64
-			if comm[a] == comm[b] {
-				mean = g.IntraRate
-			} else {
-				if rng.Float64() >= g.InterPairFraction {
+	if g.N >= sparsePairThreshold && g.InterPairFraction <= 0.5 {
+		g.generateSparse(rng, comm, boost, t)
+	} else {
+		for a := 0; a < g.N; a++ {
+			for b := a + 1; b < g.N; b++ {
+				var mean float64
+				if comm[a] == comm[b] {
+					mean = g.IntraRate
+				} else {
+					if rng.Float64() >= g.InterPairFraction {
+						continue
+					}
+					mean = g.InterRate
+				}
+				if mean <= 0 {
 					continue
 				}
-				mean = g.InterRate
+				rate := stats.Gamma(rng, g.RateShape, mean/g.RateShape)
+				// A pair meets more often when either endpoint is a hub; the
+				// geometric mean keeps a hub-hub pair at a single full boost.
+				rate *= math.Sqrt(boost[a] * boost[b])
+				pairProcess(rng, trace.NodeID(a), trace.NodeID(b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
 			}
-			if mean <= 0 {
-				continue
-			}
-			rate := stats.Gamma(rng, g.RateShape, mean/g.RateShape)
-			// A pair meets more often when either endpoint is a hub; the
-			// geometric mean keeps a hub-hub pair at a single full boost.
-			rate *= math.Sqrt(boost[a] * boost[b])
-			pairProcess(rng, trace.NodeID(a), trace.NodeID(b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
 		}
 	}
 	t.Normalize()
@@ -221,6 +303,87 @@ func (g *Community) Generate(seed int64) (*trace.Trace, error) {
 		return nil, fmt.Errorf("mobility: generated invalid trace: %w", err)
 	}
 	return t, nil
+}
+
+// generateSparse is the O(active pairs) community path: every
+// intra-community pair is enumerated block by block (intra pairs always
+// meet, so there is nothing to sample), and the active cross-community
+// pairs are drawn by a binomial count plus uniform pair-index decoding,
+// rejecting intra and duplicate indices. The merged active-pair list is
+// processed in ascending (a, b) order so the trace is a deterministic
+// function of the seed.
+func (g *Community) generateSparse(rng *rand.Rand, comm []int, boost []float64, t *trace.Trace) {
+	type activePair struct {
+		a, b int
+		mean float64
+	}
+	var pairs []activePair
+
+	if g.IntraRate > 0 {
+		members := make([][]int, g.Communities)
+		for i, c := range comm {
+			members[c] = append(members[c], i)
+		}
+		for _, m := range members {
+			for i := 0; i < len(m); i++ {
+				for j := i + 1; j < len(m); j++ {
+					a, b := m[i], m[j]
+					if a > b {
+						a, b = b, a
+					}
+					pairs = append(pairs, activePair{a: a, b: b, mean: g.IntraRate})
+				}
+			}
+		}
+	}
+
+	if g.InterPairFraction > 0 && g.InterRate > 0 {
+		var intra int64
+		sizes := make([]int64, g.Communities)
+		for _, c := range comm {
+			sizes[c]++
+		}
+		for _, s := range sizes {
+			intra += s * (s - 1) / 2
+		}
+		total := pairCount(g.N)
+		interTotal := total - intra
+		if interTotal > 0 {
+			k := stats.Binomial(rng, interTotal, g.InterPairFraction)
+			chosen := make(map[int64]struct{}, k)
+			idx := make([]int64, 0, k)
+			for int64(len(idx)) < k {
+				c := rng.Int63n(total)
+				a, b := pairFromIndex(c, g.N)
+				if comm[a] == comm[b] {
+					continue // uniform over inter pairs: reject intra
+				}
+				if _, dup := chosen[c]; dup {
+					continue
+				}
+				chosen[c] = struct{}{}
+				idx = append(idx, c)
+			}
+			sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+			for _, c := range idx {
+				a, b := pairFromIndex(c, g.N)
+				pairs = append(pairs, activePair{a: a, b: b, mean: g.InterRate})
+			}
+		}
+	}
+
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		rate := stats.Gamma(rng, g.RateShape, p.mean/g.RateShape)
+		// Same hub semantics as the dense loop: geometric-mean boost.
+		rate *= math.Sqrt(boost[p.a] * boost[p.b])
+		pairProcess(rng, trace.NodeID(p.a), trace.NodeID(p.b), rate, g.MeanContactDur, g.Duration, &t.Contacts)
+	}
 }
 
 // RandomWaypoint simulates node movement on a square field: each node
@@ -282,29 +445,94 @@ func (g *RandomWaypoint) Generate(seed int64) (*trace.Trace, error) {
 	inContact := make(map[int]float64) // pair key -> contact start time
 	t := &trace.Trace{Name: g.TraceName, N: g.N, Duration: g.Duration}
 	r2 := g.Range * g.Range
+
+	// Spatial grid: with cells at least Range wide, any in-range pair sits
+	// in the same or adjacent cells, so candidate pairs come from a 3×3
+	// neighborhood instead of the N² loop. The near predicate is unchanged
+	// and no randomness is consumed, so generated traces are identical to
+	// the exhaustive scan. Cell size is floored at Field/256 to bound the
+	// grid for tiny ranges.
+	cell := g.Range
+	if min := g.Field / 256; cell < min {
+		cell = min
+	}
+	gw := int(g.Field/cell) + 1
+	grid := make([][]int32, gw*gw)
+	cellOf := func(v float64) int {
+		c := int(v / cell)
+		if c < 0 {
+			c = 0
+		}
+		if c >= gw {
+			c = gw - 1
+		}
+		return c
+	}
+	var toClose []int
 	for now := 0.0; now < g.Duration; now += g.Step {
 		for i := range nodes {
 			g.advance(rng, &nodes[i])
 		}
+		for i := range grid {
+			grid[i] = grid[i][:0]
+		}
+		for i := range nodes {
+			c := cellOf(nodes[i].y)*gw + cellOf(nodes[i].x)
+			grid[c] = append(grid[c], int32(i))
+		}
+		// Open new contacts: every near pair has its endpoints within one
+		// cell of each other, and each unordered pair is visited exactly
+		// once (from its lower endpoint, which skips b <= a).
 		for a := 0; a < g.N; a++ {
-			for b := a + 1; b < g.N; b++ {
-				dx := nodes[a].x - nodes[b].x
-				dy := nodes[a].y - nodes[b].y
-				key := trace.PairKey(trace.NodeID(a), trace.NodeID(b), g.N)
-				near := dx*dx+dy*dy <= r2
-				start, was := inContact[key]
-				switch {
-				case near && !was:
-					inContact[key] = now
-				case !near && was:
-					if now > start {
-						t.Contacts = append(t.Contacts, trace.Contact{
-							A: trace.NodeID(a), B: trace.NodeID(b), Start: start, End: now,
-						})
+			cx, cy := cellOf(nodes[a].x), cellOf(nodes[a].y)
+			for dy := -1; dy <= 1; dy++ {
+				y := cy + dy
+				if y < 0 || y >= gw {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					x := cx + dx
+					if x < 0 || x >= gw {
+						continue
 					}
-					delete(inContact, key)
+					for _, bb := range grid[y*gw+x] {
+						b := int(bb)
+						if b <= a {
+							continue
+						}
+						ddx := nodes[a].x - nodes[b].x
+						ddy := nodes[a].y - nodes[b].y
+						if ddx*ddx+ddy*ddy > r2 {
+							continue
+						}
+						key := trace.PairKey(trace.NodeID(a), trace.NodeID(b), g.N)
+						if _, was := inContact[key]; !was {
+							inContact[key] = now
+						}
+					}
 				}
 			}
+		}
+		// Close contacts whose pair moved apart; sorted key order keeps
+		// appends deterministic (ascending (a, b), as the N² scan did).
+		toClose = toClose[:0]
+		for key := range inContact {
+			a, b := key/g.N, key%g.N
+			ddx := nodes[a].x - nodes[b].x
+			ddy := nodes[a].y - nodes[b].y
+			if ddx*ddx+ddy*ddy > r2 {
+				toClose = append(toClose, key)
+			}
+		}
+		sort.Ints(toClose)
+		for _, key := range toClose {
+			start := inContact[key]
+			if now > start {
+				t.Contacts = append(t.Contacts, trace.Contact{
+					A: trace.NodeID(key / g.N), B: trace.NodeID(key % g.N), Start: start, End: now,
+				})
+			}
+			delete(inContact, key)
 		}
 	}
 	// Close contacts still open at the horizon.

@@ -101,6 +101,50 @@ func Poisson(rng *rand.Rand, mean float64) int {
 	return int(v)
 }
 
+// Binomial draws the number of successes in n independent trials with
+// success probability p. Small means use exact geometric-gap counting
+// (skip distances between successes are geometric, so the cost is
+// O(successes), not O(n)); large means use the same normal-approximation
+// policy as Poisson, with continuity correction and clamping to [0, n].
+func Binomial(rng *rand.Rand, n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 30 {
+		// Count successes by jumping geometric gaps: the index of the next
+		// success after position i is i + 1 + Geom(p).
+		logq := math.Log1p(-p)
+		var k, i int64
+		for {
+			// Geometric skip: floor(log(U)/log(1-p)) failures before the
+			// next success. Guard the conversion: for U near 1 the gap is
+			// effectively infinite and would overflow int64.
+			gap := math.Log(1-rng.Float64()) / logq
+			if gap >= float64(n) {
+				return k
+			}
+			i += 1 + int64(gap)
+			if i > n {
+				return k
+			}
+			k++
+		}
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := rng.NormFloat64()*sd + mean + 0.5
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return n
+	}
+	return int64(v)
+}
+
 // Gamma draws from a gamma distribution with the given shape and scale
 // using the Marsaglia–Tsang method (2000). shape and scale must be
 // positive.

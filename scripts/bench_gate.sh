@@ -7,12 +7,14 @@
 #   - e2NsPerOp      > baseline +10%  (median-of-5 timing; the generous
 #     margin plus median sampling absorbs machine noise while still
 #     catching the cell-level slowdowns per-contact gating missed)
+#   - largeNAllocsPerContact > baseline +2%, largeNBytesPerContact
+#     > baseline +10% (deterministic; the large-N sparse path)
 #
 # Usage: scripts/bench_gate.sh [baseline.json] [fresh.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR8.json}"
+baseline="${1:-BENCH_PR10.json}"
 fresh="${2:-bench_fresh.json}"
 
 [ -f "$baseline" ] || { echo "no committed baseline $baseline"; exit 1; }
@@ -43,7 +45,9 @@ gate() {
     }'
 }
 
-gate e2AllocsPerOp    0.05 "E2 quick sweep allocations"
-gate e2BytesPerOp     0.10 "E2 quick sweep bytes"
-gate e2NsPerOp        0.10 "E2 quick sweep wall time"
-gate allocsPerContact 0.02 "contact dispatch allocs/contact"
+gate e2AllocsPerOp          0.05 "E2 quick sweep allocations"
+gate e2BytesPerOp           0.10 "E2 quick sweep bytes"
+gate e2NsPerOp              0.10 "E2 quick sweep wall time"
+gate allocsPerContact       0.02 "contact dispatch allocs/contact"
+gate largeNAllocsPerContact 0.02 "large-N sparse path allocs/contact"
+gate largeNBytesPerContact  0.10 "large-N sparse path bytes/contact"
